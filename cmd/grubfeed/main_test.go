@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestPolicies(t *testing.T) {
+	for _, pol := range []string{"memoryless", "memorizing", "bl1", "bl2"} {
+		if err := run([]string{"-ops", "48", "-epoch", "8", "-policy", pol}); err != nil {
+			t.Errorf("policy %s: %v", pol, err)
+		}
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "bogus"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

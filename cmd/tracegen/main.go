@@ -1,0 +1,62 @@
+// Command tracegen emits the synthetic workload traces used by the
+// benchmark suite as CSV for external inspection or plotting.
+//
+// Usage:
+//
+//	tracegen -trace ethprice > ethprice.csv
+//	tracegen -trace btcrelay -writes 5000 > btcrelay.csv
+//	tracegen -trace ratio -ratio 4 -ops 1000 > ratio.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grub/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	kind := fs.String("trace", "ethprice", "trace kind: ethprice | btcrelay | ratio")
+	writes := fs.Int("writes", workload.EthPriceWrites, "number of writes (ethprice/btcrelay)")
+	ratio := fs.Float64("ratio", 1, "read-to-write ratio (ratio)")
+	ops := fs.Int("ops", 1024, "total operations (ratio)")
+	valueBytes := fs.Int("value", 32, "value size in bytes")
+	seed := fs.Uint64("seed", 42, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var trace []workload.Op
+	switch *kind {
+	case "ethprice":
+		trace = workload.EthPriceOracle("ETH", *writes, *valueBytes, *seed)
+	case "btcrelay":
+		trace = workload.BtcRelay(*writes, *valueBytes, 6, *seed)
+	case "ratio":
+		trace = workload.RatioFraction("key", *ratio, *ops, *valueBytes, *seed)
+	default:
+		return fmt.Errorf("unknown trace kind %q", *kind)
+	}
+	fmt.Println("seq,op,key,value_bytes")
+	for i, op := range trace {
+		kindStr := "read"
+		if op.Write {
+			kindStr = "write"
+		} else if op.ScanLen > 0 {
+			kindStr = fmt.Sprintf("scan%d", op.ScanLen)
+		}
+		fmt.Printf("%d,%s,%s,%d\n", i, kindStr, op.Key, len(op.Value))
+	}
+	st := workload.Describe(trace)
+	fmt.Fprintf(os.Stderr, "ops=%d writes=%d reads=%d scans=%d keys=%d\n",
+		st.Ops, st.Writes, st.Reads, st.Scans, st.Keys)
+	return nil
+}

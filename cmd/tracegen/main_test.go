@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestKnownTraces(t *testing.T) {
+	for _, kind := range []string{"ethprice", "btcrelay", "ratio"} {
+		if err := run([]string{"-trace", kind, "-writes", "50", "-ops", "50"}); err != nil {
+			t.Errorf("trace %s: %v", kind, err)
+		}
+	}
+}
+
+func TestUnknownTrace(t *testing.T) {
+	if err := run([]string{"-trace", "bogus"}); err == nil {
+		t.Fatal("unknown trace kind accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Stablecoin: the paper's §4.1 case study end to end.
+//
+// A GRuB price feed carries a drifting ETH/USD price; the SCoinIssuer
+// contract issues and redeems a DAI-style stablecoin against it, reading the
+// price through gGet callbacks (synchronous when the price record is
+// replicated, asynchronous via deliver when it is not).
+//
+// Run with: go run ./examples/stablecoin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grub/internal/apps/scoin"
+	"grub/internal/chain"
+	"grub/internal/core"
+	"grub/internal/policy"
+	"grub/internal/sim"
+	"grub/internal/workload"
+)
+
+func main() {
+	c := chain.NewDefault()
+	feed := core.NewFeed(c, policy.NewMemoryless(1), core.Options{EpochOps: 8})
+	issuer := scoin.New(c, "scoin-issuer", "grub-manager", "ETH")
+
+	// Drive a piece of the regenerated ethPriceOracle workload: every
+	// write is a price update; every read is a stablecoin operation that
+	// consumes the price.
+	trace := workload.EthPriceOracle("ETH", 60, 8, 2024)
+	price := uint64(180_00)
+	r := sim.NewRand(7)
+	issueNext := true
+	for _, op := range trace {
+		if op.Write {
+			price += uint64(r.Intn(120))
+			feed.Write(core.KV{Key: "ETH", Value: scoin.EncodePrice(price)})
+			// Close the epoch so the price is on the SP (and its digest
+			// on-chain) before consumers read it; within an epoch reads
+			// see the previous price (epoch-bounded freshness, §3.4).
+			feed.FlushEpoch()
+			continue
+		}
+		var err error
+		if issueNext || issuer.Issued-issuer.Redeemed < 200 {
+			err = feed.ReadFrom("scoin-issuer", "issue",
+				scoin.IssueArgs{Buyer: "alice", EtherMilli: 2000}, 64)
+		} else {
+			err = feed.ReadFrom("scoin-issuer", "redeem",
+				scoin.RedeemArgs{Seller: "alice", SCoin: 100}, 64)
+		}
+		issueNext = !issueNext
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	feed.FlushEpoch()
+
+	supply, err := c.View(issuer.Token().Address(), "totalSupply", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bal, err := c.View(issuer.Token().Address(), "balanceOf", chain.Address("alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final ETH price:        $%d.%02d\n", price/100, price%100)
+	fmt.Printf("SCoin issued/redeemed:  %d / %d\n", issuer.Issued, issuer.Redeemed)
+	fmt.Printf("alice's SCoin balance:  %v\n", bal)
+	fmt.Printf("total SCoin supply:     %v\n", supply)
+	fmt.Printf("feed-layer gas:         %d\n", feed.FeedGas())
+	fmt.Printf("SCoinIssuer gas:        %d\n", c.GasOf("scoin-issuer")+c.GasOf(issuer.Token().Address()))
+}

@@ -1,0 +1,85 @@
+package ads
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"grub/internal/sim"
+)
+
+func TestNextKeysMergesGroups(t *testing.T) {
+	s := NewSet()
+	// Interleave R and NR keys so the merge actually has work to do.
+	s.Put(rec("a", NR, "1"))
+	s.Put(rec("b", R, "2"))
+	s.Put(rec("c", NR, "3"))
+	s.Put(rec("d", R, "4"))
+	s.Put(rec("e", NR, "5"))
+	got := s.NextKeys("b", 3)
+	want := []string{"b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("NextKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNextKeysBounds(t *testing.T) {
+	s := NewSet()
+	s.Put(rec("m", NR, "1"))
+	if got := s.NextKeys("z", 5); len(got) != 0 {
+		t.Fatalf("past-the-end scan returned %v", got)
+	}
+	if got := s.NextKeys("", 5); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("scan from start = %v", got)
+	}
+	if got := NewSet().NextKeys("a", 3); len(got) != 0 {
+		t.Fatalf("empty set scan = %v", got)
+	}
+}
+
+// Property: NextKeys equals the brute-force sorted-key answer for random
+// sets and start points.
+func TestNextKeysProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, startRaw, limRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		lim := int(limRaw%10) + 1
+		s := NewSet()
+		r := sim.NewRand(seed)
+		keys := map[string]bool{}
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key-%02d", r.Intn(50))
+			s.Put(Record{Key: k, State: State(r.Intn(2)), Value: []byte("v")})
+			keys[k] = true
+		}
+		start := fmt.Sprintf("key-%02d", int(startRaw)%50)
+		var all []string
+		for k := range keys {
+			if k >= start {
+				all = append(all, k)
+			}
+		}
+		sort.Strings(all)
+		if len(all) > lim {
+			all = all[:lim]
+		}
+		got := s.NextKeys(start, lim)
+		if len(got) != len(all) {
+			return false
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,430 @@
+package ads
+
+import (
+	"fmt"
+	"sort"
+
+	"grub/internal/merkle"
+)
+
+// paddingLeaf fills unused leaf slots of the complete tree. Its preimage
+// starts with 0xFF, which no record encoding can produce (record encodings
+// start with a state byte of 0 or 1), so padding can never be presented as a
+// record.
+var paddingLeaf = merkle.HashLeaf([]byte{0xff, 'p', 'a', 'd'})
+
+// Set is an authenticated, (state,key)-ordered set of records with a cached
+// complete Merkle tree: point updates are O(log n); insertions, deletions and
+// relocations mark the tree dirty and trigger a lazy O(n) rebuild on the next
+// proof or root request (so bursts of structural changes between proofs
+// coalesce into one rebuild).
+//
+// Set is used by the SP (with values) to serve proofs and by the DO to
+// maintain the digest it signs on-chain. Both sides compute identical roots
+// by construction.
+type Set struct {
+	recs   []Record
+	leaves []merkle.Hash // cached leaf hashes, parallel to recs
+	nodes  []merkle.Hash // complete binary tree; nodes[capacity+i] is leaf i
+	cap    int           // leaf capacity, power of two, >= len(recs)
+	dirty  bool
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{dirty: true} }
+
+// Len returns the number of records.
+func (s *Set) Len() int { return len(s.recs) }
+
+// pos returns the index at which a record with (state, key) sorts, and
+// whether an exact (state, key) match exists there.
+func (s *Set) pos(state State, key string) (int, bool) {
+	i := sort.Search(len(s.recs), func(i int) bool {
+		r := s.recs[i]
+		return !less(r.State, r.Key, state, key)
+	})
+	if i < len(s.recs) && s.recs[i].State == state && s.recs[i].Key == key {
+		return i, true
+	}
+	return i, false
+}
+
+// find locates key regardless of state.
+func (s *Set) find(key string) (int, bool) {
+	if i, ok := s.pos(NR, key); ok {
+		return i, true
+	}
+	if i, ok := s.pos(R, key); ok {
+		return i, true
+	}
+	return -1, false
+}
+
+// Get returns the record stored under key.
+func (s *Set) Get(key string) (Record, bool) {
+	i, ok := s.find(key)
+	if !ok {
+		return Record{}, false
+	}
+	return s.recs[i], true
+}
+
+// Records returns a copy of all records in (state, key) order.
+func (s *Set) Records() []Record {
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Put inserts or updates key with the given value and state. If the record
+// exists with a different state it is relocated to its new group (a
+// structural change). It returns the previous state and whether the key
+// already existed.
+func (s *Set) Put(rec Record) (prev State, existed bool) {
+	if i, ok := s.find(rec.Key); ok {
+		prev = s.recs[i].State
+		if prev == rec.State {
+			// In-place value update: cheap cached-path refresh.
+			s.recs[i].Value = append([]byte(nil), rec.Value...)
+			s.leaves[i] = s.recs[i].Leaf()
+			s.refreshLeaf(i)
+			return prev, true
+		}
+		// Relocation: remove from the old group, insert in the new.
+		s.removeAt(i)
+		j, _ := s.pos(rec.State, rec.Key)
+		s.insertAt(j, rec)
+		return prev, true
+	}
+	j, _ := s.pos(rec.State, rec.Key)
+	s.insertAt(j, rec)
+	return 0, false
+}
+
+func (s *Set) insertAt(i int, rec Record) {
+	rec.Value = append([]byte(nil), rec.Value...)
+	s.recs = append(s.recs, Record{})
+	copy(s.recs[i+1:], s.recs[i:])
+	s.recs[i] = rec
+	s.leaves = append(s.leaves, merkle.Hash{})
+	copy(s.leaves[i+1:], s.leaves[i:])
+	s.leaves[i] = rec.Leaf()
+	s.dirty = true
+}
+
+func (s *Set) removeAt(i int) {
+	s.recs = append(s.recs[:i], s.recs[i+1:]...)
+	s.leaves = append(s.leaves[:i], s.leaves[i+1:]...)
+	s.dirty = true
+}
+
+// Delete removes key from the set, reporting whether it existed.
+func (s *Set) Delete(key string) bool {
+	i, ok := s.find(key)
+	if !ok {
+		return false
+	}
+	s.removeAt(i)
+	return true
+}
+
+// SetState changes the replication state of key, relocating the record. It
+// reports whether the key existed (and needed a change).
+func (s *Set) SetState(key string, state State) bool {
+	i, ok := s.find(key)
+	if !ok {
+		return false
+	}
+	if s.recs[i].State == state {
+		return true
+	}
+	rec := s.recs[i]
+	rec.State = state
+	s.removeAt(i)
+	j, _ := s.pos(state, key)
+	s.insertAt(j, rec)
+	return true
+}
+
+// refreshLeaf updates the cached tree for an in-place leaf change.
+func (s *Set) refreshLeaf(i int) {
+	if s.dirty || s.nodes == nil {
+		s.dirty = true
+		return
+	}
+	idx := s.cap + i
+	s.nodes[idx] = s.leaves[i]
+	for idx > 1 {
+		idx /= 2
+		s.nodes[idx] = merkle.HashInner(s.nodes[2*idx], s.nodes[2*idx+1])
+	}
+}
+
+// ensure rebuilds the cached tree if needed. Leaf hashes are cached per
+// record, so a rebuild recomputes only the ~n interior nodes.
+func (s *Set) ensure() {
+	if !s.dirty && s.nodes != nil {
+		return
+	}
+	c := 1
+	for c < len(s.recs) {
+		c *= 2
+	}
+	if s.cap != c || s.nodes == nil {
+		s.cap = c
+		s.nodes = make([]merkle.Hash, 2*c)
+	}
+	copy(s.nodes[c:], s.leaves)
+	for i := len(s.recs); i < c; i++ {
+		s.nodes[c+i] = paddingLeaf
+	}
+	for i := c - 1; i >= 1; i-- {
+		s.nodes[i] = merkle.HashInner(s.nodes[2*i], s.nodes[2*i+1])
+	}
+	s.dirty = false
+}
+
+// Root returns the authenticated digest of the set.
+func (s *Set) Root() merkle.Hash {
+	s.ensure()
+	return s.nodes[1]
+}
+
+// Capacity returns the padded leaf capacity (exported for proof-size
+// reasoning in tests).
+func (s *Set) Capacity() int {
+	s.ensure()
+	return s.cap
+}
+
+// ProveIndex builds a membership proof for the record at index i.
+func (s *Set) ProveIndex(i int) (*merkle.Proof, error) {
+	if i < 0 || i >= len(s.recs) {
+		return nil, fmt.Errorf("ads: prove index %d out of range [0,%d)", i, len(s.recs))
+	}
+	s.ensure()
+	p := &merkle.Proof{Index: i, LeafCount: s.cap}
+	idx := s.cap + i
+	for idx > 1 {
+		sib := idx ^ 1
+		p.Path = append(p.Path, merkle.ProofNode{Left: sib < idx, Hash: s.nodes[sib]})
+		idx /= 2
+	}
+	return p, nil
+}
+
+// ProveKey returns the record stored under key together with its membership
+// proof.
+func (s *Set) ProveKey(key string) (Record, *merkle.Proof, error) {
+	i, ok := s.find(key)
+	if !ok {
+		return Record{}, nil, fmt.Errorf("ads: key %q not present", key)
+	}
+	p, err := s.ProveIndex(i)
+	if err != nil {
+		return Record{}, nil, err
+	}
+	return s.recs[i], p, nil
+}
+
+// RangeNR returns all NR records with lo <= key <= hi, together with a range
+// proof over their contiguous span. The proof's completeness guarantee means
+// an adversarial SP can neither omit nor inject records in the span.
+//
+// Only the NR group is served: R records live on-chain and are read there
+// (paper Appendix B.2.2).
+func (s *Set) RangeNR(lo, hi string) ([]Record, *merkle.RangeProof, error) {
+	start := sort.Search(len(s.recs), func(i int) bool {
+		r := s.recs[i]
+		return !less(r.State, r.Key, NR, lo)
+	})
+	end := start
+	for end < len(s.recs) && s.recs[end].State == NR && s.recs[end].Key <= hi {
+		end++
+	}
+	p, err := s.proveRange(start, end)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Record, end-start)
+	copy(out, s.recs[start:end])
+	return out, p, nil
+}
+
+// ProveAbsent proves that key is not in the set (in either state group) by
+// exhibiting the two adjacent leaves that would surround it in each group.
+// For simplicity and auditability it returns one range proof per group
+// covering the empty span where the key would sit, plus the neighbor
+// records; the verifier checks neighbor ordering.
+type AbsenceProof struct {
+	// For each state group: the insertion position's neighbors. Neighbors
+	// may be missing at the edges of a group.
+	NRBefore, NRAfter *Record
+	RBefore, RAfter   *Record
+	NRProof, RProof   *merkle.RangeProof
+	NRRecords         []Record // the (possibly empty) proven spans
+	RRecords          []Record
+}
+
+// Size returns the byte size for Gas accounting.
+func (p *AbsenceProof) Size() int {
+	n := 0
+	if p.NRProof != nil {
+		n += p.NRProof.Size()
+	}
+	if p.RProof != nil {
+		n += p.RProof.Size()
+	}
+	for _, r := range p.NRRecords {
+		n += r.Size()
+	}
+	for _, r := range p.RRecords {
+		n += r.Size()
+	}
+	return n
+}
+
+// ProveAbsent builds an absence proof for key.
+func (s *Set) ProveAbsent(key string) (*AbsenceProof, error) {
+	if _, ok := s.find(key); ok {
+		return nil, fmt.Errorf("ads: key %q is present", key)
+	}
+	out := &AbsenceProof{}
+	for _, st := range []State{NR, R} {
+		i, _ := s.pos(st, key)
+		lo, hi := i, i
+		if lo > 0 && s.recs[lo-1].State == st {
+			lo--
+		}
+		if hi < len(s.recs) && s.recs[hi].State == st {
+			hi++
+		}
+		p, err := s.proveRange(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		span := make([]Record, hi-lo)
+		copy(span, s.recs[lo:hi])
+		switch st {
+		case NR:
+			out.NRProof, out.NRRecords = p, span
+		case R:
+			out.RProof, out.RRecords = p, span
+		}
+	}
+	return out, nil
+}
+
+// VerifyAbsent checks an absence proof against root. The spans must verify
+// and key must sort strictly between the span's neighbors within each group.
+func VerifyAbsent(root merkle.Hash, key string, p *AbsenceProof) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil absence proof", merkle.ErrInvalidProof)
+	}
+	check := func(st State, span []Record, rp *merkle.RangeProof) error {
+		leaves := make([]merkle.Hash, len(span))
+		for i, r := range span {
+			if r.State != st {
+				return fmt.Errorf("%w: span record in wrong group", merkle.ErrInvalidProof)
+			}
+			leaves[i] = r.Leaf()
+		}
+		if err := merkle.VerifyRange(root, leaves, rp); err != nil {
+			return err
+		}
+		// key must not appear, and must sort inside the span boundaries
+		// if the span is non-empty on that side.
+		for _, r := range span {
+			if r.Key == key {
+				return fmt.Errorf("%w: key present in absence span", merkle.ErrInvalidProof)
+			}
+		}
+		return nil
+	}
+	if err := check(NR, p.NRRecords, p.NRProof); err != nil {
+		return fmt.Errorf("NR group: %w", err)
+	}
+	if err := check(R, p.RRecords, p.RProof); err != nil {
+		return fmt.Errorf("R group: %w", err)
+	}
+	return nil
+}
+
+// proveRange builds a RangeProof for [start, end) over the cached complete
+// tree, producing the same traversal order as merkle.VerifyRange expects.
+func (s *Set) proveRange(start, end int) (*merkle.RangeProof, error) {
+	if start < 0 || end > len(s.recs) || start > end {
+		return nil, fmt.Errorf("ads: range [%d,%d) out of bounds [0,%d]", start, end, len(s.recs))
+	}
+	s.ensure()
+	p := &merkle.RangeProof{Start: start, End: end, LeafCount: s.cap}
+	var walk func(node, lo, hi int)
+	walk = func(node, lo, hi int) {
+		if hi <= start {
+			p.Left = append(p.Left, s.nodes[node])
+			return
+		}
+		if lo >= end {
+			p.Right = append(p.Right, s.nodes[node])
+			return
+		}
+		if start <= lo && hi <= end {
+			return
+		}
+		if hi-lo == 1 {
+			if lo >= start {
+				p.Right = append(p.Right, s.nodes[node])
+			} else {
+				p.Left = append(p.Left, s.nodes[node])
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		walk(2*node, lo, mid)
+		walk(2*node+1, mid, hi)
+	}
+	walk(1, 0, s.cap)
+	return p, nil
+}
+
+// NextKeys returns up to n keys >= start in ascending key order, merging the
+// NR and R groups (each is key-sorted internally). Used to expand scans into
+// point reads.
+func (s *Set) NextKeys(start string, n int) []string {
+	// Locate the group boundary: first R record.
+	b := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].State == R })
+	i := sort.Search(b, func(i int) bool { return s.recs[i].Key >= start })
+	j := b + sort.Search(len(s.recs)-b, func(j int) bool { return s.recs[b+j].Key >= start })
+	out := make([]string, 0, n)
+	for len(out) < n && (i < b || j < len(s.recs)) {
+		switch {
+		case i >= b:
+			out = append(out, s.recs[j].Key)
+			j++
+		case j >= len(s.recs):
+			out = append(out, s.recs[i].Key)
+			i++
+		case s.recs[i].Key <= s.recs[j].Key:
+			out = append(out, s.recs[i].Key)
+			i++
+		default:
+			out = append(out, s.recs[j].Key)
+			j++
+		}
+	}
+	return out
+}
+
+// VerifyRecord checks a single-record membership proof against root.
+func VerifyRecord(root merkle.Hash, rec Record, p *merkle.Proof) error {
+	return merkle.Verify(root, rec.Leaf(), p)
+}
+
+// VerifyRecords checks a contiguous range of records against root.
+func VerifyRecords(root merkle.Hash, recs []Record, p *merkle.RangeProof) error {
+	leaves := make([]merkle.Hash, len(recs))
+	for i, r := range recs {
+		leaves[i] = r.Leaf()
+	}
+	return merkle.VerifyRange(root, leaves, p)
+}

@@ -1,0 +1,189 @@
+// Package erc20 implements a minimal ERC20-style fungible token on the
+// simulated chain: metered balance storage, transfer/approve/transferFrom
+// semantics and controlled mint/burn. SCoin (§4.1) and the BTC-pegged token
+// (§4.2) build on it.
+package erc20
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"grub/internal/chain"
+)
+
+// Errors surfaced to callers of the token contract.
+var (
+	ErrInsufficientBalance   = errors.New("erc20: insufficient balance")
+	ErrInsufficientAllowance = errors.New("erc20: insufficient allowance")
+	ErrUnauthorizedMinter    = errors.New("erc20: caller may not mint/burn")
+)
+
+// TransferArgs moves Amount from the transaction origin to To.
+type TransferArgs struct {
+	To     chain.Address
+	Amount uint64
+}
+
+// ApproveArgs lets Spender move up to Amount of the origin's tokens.
+type ApproveArgs struct {
+	Spender chain.Address
+	Amount  uint64
+}
+
+// TransferFromArgs moves Amount from From to To, consuming the origin's
+// allowance.
+type TransferFromArgs struct {
+	From   chain.Address
+	To     chain.Address
+	Amount uint64
+}
+
+// MintArgs creates Amount tokens for To; BurnArgs destroys them. Only the
+// configured minter may call either.
+type MintArgs struct {
+	To     chain.Address
+	Amount uint64
+}
+
+// BurnArgs destroys Amount tokens held by From.
+type BurnArgs struct {
+	From   chain.Address
+	Amount uint64
+}
+
+// Token is the contract object. All state lives in metered chain storage.
+type Token struct {
+	addr   chain.Address
+	minter chain.Address
+	name   string
+}
+
+// New registers a token contract at addr whose mint/burn authority is
+// minter (usually an issuer contract).
+func New(c *chain.Chain, addr chain.Address, name string, minter chain.Address) *Token {
+	t := &Token{addr: addr, minter: minter, name: name}
+	c.Register(addr, "transfer", t.transfer)
+	c.Register(addr, "approve", t.approve)
+	c.Register(addr, "transferFrom", t.transferFrom)
+	c.Register(addr, "mint", t.mint)
+	c.Register(addr, "burn", t.burn)
+	c.Register(addr, "balanceOf", t.balanceOf)
+	c.Register(addr, "totalSupply", t.totalSupply)
+	return t
+}
+
+// Address returns the token contract address.
+func (t *Token) Address() chain.Address { return t.addr }
+
+func balanceSlot(a chain.Address) string  { return "bal:" + string(a) }
+func allowSlot(o, s chain.Address) string { return "alw:" + string(o) + ":" + string(s) }
+
+const supplySlot = "supply"
+
+func getU64(ctx *chain.Ctx, slot string) uint64 {
+	raw, ok := ctx.Load(slot)
+	if !ok || len(raw) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw)
+}
+
+func putU64(ctx *chain.Ctx, slot string, v uint64) {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, v)
+	ctx.Store(slot, buf)
+}
+
+func (t *Token) transfer(ctx *chain.Ctx, args any) (any, error) {
+	a, ok := args.(TransferArgs)
+	if !ok {
+		return nil, fmt.Errorf("erc20: transfer args %T", args)
+	}
+	return nil, t.move(ctx, ctx.Origin(), a.To, a.Amount)
+}
+
+func (t *Token) move(ctx *chain.Ctx, from, to chain.Address, amount uint64) error {
+	fromBal := getU64(ctx, balanceSlot(from))
+	if fromBal < amount {
+		return fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientBalance, from, fromBal, amount)
+	}
+	putU64(ctx, balanceSlot(from), fromBal-amount)
+	putU64(ctx, balanceSlot(to), getU64(ctx, balanceSlot(to))+amount)
+	return nil
+}
+
+func (t *Token) approve(ctx *chain.Ctx, args any) (any, error) {
+	a, ok := args.(ApproveArgs)
+	if !ok {
+		return nil, fmt.Errorf("erc20: approve args %T", args)
+	}
+	putU64(ctx, allowSlot(ctx.Origin(), a.Spender), a.Amount)
+	return nil, nil
+}
+
+func (t *Token) transferFrom(ctx *chain.Ctx, args any) (any, error) {
+	a, ok := args.(TransferFromArgs)
+	if !ok {
+		return nil, fmt.Errorf("erc20: transferFrom args %T", args)
+	}
+	slot := allowSlot(a.From, ctx.Origin())
+	allowance := getU64(ctx, slot)
+	if allowance < a.Amount {
+		return nil, fmt.Errorf("%w: %d < %d", ErrInsufficientAllowance, allowance, a.Amount)
+	}
+	if err := t.move(ctx, a.From, a.To, a.Amount); err != nil {
+		return nil, err
+	}
+	putU64(ctx, slot, allowance-a.Amount)
+	return nil, nil
+}
+
+func (t *Token) mint(ctx *chain.Ctx, args any) (any, error) {
+	a, ok := args.(MintArgs)
+	if !ok {
+		return nil, fmt.Errorf("erc20: mint args %T", args)
+	}
+	if !t.authorized(ctx) {
+		return nil, ErrUnauthorizedMinter
+	}
+	putU64(ctx, balanceSlot(a.To), getU64(ctx, balanceSlot(a.To))+a.Amount)
+	putU64(ctx, supplySlot, getU64(ctx, supplySlot)+a.Amount)
+	return nil, nil
+}
+
+func (t *Token) burn(ctx *chain.Ctx, args any) (any, error) {
+	a, ok := args.(BurnArgs)
+	if !ok {
+		return nil, fmt.Errorf("erc20: burn args %T", args)
+	}
+	if !t.authorized(ctx) {
+		return nil, ErrUnauthorizedMinter
+	}
+	bal := getU64(ctx, balanceSlot(a.From))
+	if bal < a.Amount {
+		return nil, fmt.Errorf("%w: burn %d from %d", ErrInsufficientBalance, a.Amount, bal)
+	}
+	putU64(ctx, balanceSlot(a.From), bal-a.Amount)
+	putU64(ctx, supplySlot, getU64(ctx, supplySlot)-a.Amount)
+	return nil, nil
+}
+
+// authorized reports whether the current call may mint/burn: the immediate
+// caller (msg.sender) must be the configured minter, whether that is an
+// external account or a contract such as the SCoin issuer.
+func (t *Token) authorized(ctx *chain.Ctx) bool {
+	return ctx.Caller() == t.minter
+}
+
+func (t *Token) balanceOf(ctx *chain.Ctx, args any) (any, error) {
+	a, ok := args.(chain.Address)
+	if !ok {
+		return nil, fmt.Errorf("erc20: balanceOf args %T", args)
+	}
+	return getU64(ctx, balanceSlot(a)), nil
+}
+
+func (t *Token) totalSupply(ctx *chain.Ctx, args any) (any, error) {
+	return getU64(ctx, supplySlot), nil
+}

@@ -1,0 +1,118 @@
+package erc20
+
+import (
+	"errors"
+	"testing"
+
+	"grub/internal/chain"
+	"grub/internal/gas"
+	"grub/internal/sim"
+)
+
+func newChain() *chain.Chain {
+	return chain.New(sim.NewClock(0), chain.Params{BlockInterval: 1, PropagationDelay: 0, FinalityDepth: 1}, gas.DefaultSchedule())
+}
+
+func run(t *testing.T, c *chain.Chain, from, to chain.Address, method string, args any) *chain.Tx {
+	t.Helper()
+	tx := &chain.Tx{From: from, To: to, Method: method, Args: args, PayloadBytes: 64}
+	c.Submit(tx)
+	c.MineUntilEmpty()
+	return tx
+}
+
+func balance(t *testing.T, c *chain.Chain, token, who chain.Address) uint64 {
+	t.Helper()
+	v, err := c.View(token, "balanceOf", who)
+	if err != nil {
+		t.Fatalf("balanceOf: %v", err)
+	}
+	return v.(uint64)
+}
+
+func TestMintTransferBurn(t *testing.T) {
+	c := newChain()
+	tok := New(c, "token", "TST", "minter")
+	if tx := run(t, c, "minter", "token", "mint", MintArgs{To: "alice", Amount: 100}); tx.Err != nil {
+		t.Fatalf("mint: %v", tx.Err)
+	}
+	if got := balance(t, c, "token", "alice"); got != 100 {
+		t.Fatalf("alice = %d", got)
+	}
+	if tx := run(t, c, "alice", "token", "transfer", TransferArgs{To: "bob", Amount: 30}); tx.Err != nil {
+		t.Fatalf("transfer: %v", tx.Err)
+	}
+	if balance(t, c, "token", "alice") != 70 || balance(t, c, "token", "bob") != 30 {
+		t.Fatal("transfer balances wrong")
+	}
+	if tx := run(t, c, "minter", "token", "burn", BurnArgs{From: "bob", Amount: 30}); tx.Err != nil {
+		t.Fatalf("burn: %v", tx.Err)
+	}
+	supply, _ := c.View("token", "totalSupply", nil)
+	if supply.(uint64) != 70 {
+		t.Fatalf("supply = %d", supply)
+	}
+	_ = tok
+}
+
+func TestTransferInsufficient(t *testing.T) {
+	c := newChain()
+	New(c, "token", "TST", "minter")
+	run(t, c, "minter", "token", "mint", MintArgs{To: "alice", Amount: 10})
+	tx := run(t, c, "alice", "token", "transfer", TransferArgs{To: "bob", Amount: 11})
+	if !errors.Is(tx.Err, ErrInsufficientBalance) {
+		t.Fatalf("err = %v", tx.Err)
+	}
+	if balance(t, c, "token", "alice") != 10 {
+		t.Fatal("failed transfer mutated balance")
+	}
+}
+
+func TestMintUnauthorized(t *testing.T) {
+	c := newChain()
+	New(c, "token", "TST", "minter")
+	tx := run(t, c, "mallory", "token", "mint", MintArgs{To: "mallory", Amount: 1 << 40})
+	if !errors.Is(tx.Err, ErrUnauthorizedMinter) {
+		t.Fatalf("err = %v", tx.Err)
+	}
+}
+
+func TestApproveTransferFrom(t *testing.T) {
+	c := newChain()
+	New(c, "token", "TST", "minter")
+	run(t, c, "minter", "token", "mint", MintArgs{To: "alice", Amount: 100})
+	run(t, c, "alice", "token", "approve", ApproveArgs{Spender: "bob", Amount: 40})
+	if tx := run(t, c, "bob", "token", "transferFrom", TransferFromArgs{From: "alice", To: "carol", Amount: 25}); tx.Err != nil {
+		t.Fatalf("transferFrom: %v", tx.Err)
+	}
+	if balance(t, c, "token", "carol") != 25 {
+		t.Fatal("carol balance wrong")
+	}
+	// Allowance drained to 15; overdraw fails.
+	tx := run(t, c, "bob", "token", "transferFrom", TransferFromArgs{From: "alice", To: "carol", Amount: 16})
+	if !errors.Is(tx.Err, ErrInsufficientAllowance) {
+		t.Fatalf("err = %v", tx.Err)
+	}
+}
+
+func TestBurnOverdraft(t *testing.T) {
+	c := newChain()
+	New(c, "token", "TST", "minter")
+	run(t, c, "minter", "token", "mint", MintArgs{To: "alice", Amount: 5})
+	tx := run(t, c, "minter", "token", "burn", BurnArgs{From: "alice", Amount: 6})
+	if !errors.Is(tx.Err, ErrInsufficientBalance) {
+		t.Fatalf("err = %v", tx.Err)
+	}
+}
+
+func TestTransfersCostStorageGas(t *testing.T) {
+	c := newChain()
+	New(c, "token", "TST", "minter")
+	run(t, c, "minter", "token", "mint", MintArgs{To: "alice", Amount: 100})
+	tx := run(t, c, "alice", "token", "transfer", TransferArgs{To: "bob", Amount: 1})
+	// Two balance loads + one update + one insert + tx base.
+	want := c.Schedule().Tx(64) + 2*c.Schedule().Load(8) + c.Schedule().StoreUpdate(8) + c.Schedule().StoreInsert(8)
+	if tx.GasUsed != want {
+		t.Fatalf("transfer gas = %d, want %d", tx.GasUsed, want)
+	}
+}

@@ -1,0 +1,173 @@
+package scoin
+
+import (
+	"testing"
+
+	"grub/internal/chain"
+	"grub/internal/core"
+	"grub/internal/gas"
+	"grub/internal/policy"
+	"grub/internal/sim"
+)
+
+// harness wires a GRuB price feed and an SCoin issuer on one chain.
+type harness struct {
+	feed   *core.Feed
+	issuer *Issuer
+}
+
+func newHarness(t *testing.T, p policy.Policy) *harness {
+	t.Helper()
+	c := chain.New(sim.NewClock(0), chain.Params{BlockInterval: 1, PropagationDelay: 0, FinalityDepth: 1}, gas.DefaultSchedule())
+	f := core.NewFeed(c, p, core.Options{EpochOps: 4})
+	iss := New(c, "scoin-issuer", "grub-manager", "ETH")
+	return &harness{feed: f, issuer: iss}
+}
+
+func (h *harness) setPrice(centsPerEth uint64) {
+	h.feed.Write(core.KV{Key: "ETH", Value: EncodePrice(centsPerEth)})
+	h.feed.FlushEpoch()
+}
+
+func (h *harness) issue(t *testing.T, buyer chain.Address, etherMilli uint64) {
+	t.Helper()
+	err := h.feed.ReadFrom("scoin-issuer", "issue", IssueArgs{Buyer: buyer, EtherMilli: etherMilli}, 64)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+}
+
+func (h *harness) redeem(t *testing.T, seller chain.Address, scoin uint64) {
+	t.Helper()
+	err := h.feed.ReadFrom("scoin-issuer", "redeem", RedeemArgs{Seller: seller, SCoin: scoin}, 64)
+	if err != nil {
+		t.Fatalf("redeem: %v", err)
+	}
+}
+
+func (h *harness) balance(t *testing.T, who chain.Address) uint64 {
+	t.Helper()
+	v, err := h.feed.Chain.View(h.issuer.Token().Address(), "balanceOf", who)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.(uint64)
+}
+
+func TestIssueAtPrice(t *testing.T) {
+	h := newHarness(t, policy.Never{})
+	h.setPrice(300_00) // $300.00 per ETH
+	// 3 ETH = 3000 milli at $300 = $900 collateral -> 600 SCoin at 150%.
+	h.issue(t, "alice", 3000)
+	if got := h.balance(t, "alice"); got != 600 {
+		t.Fatalf("alice SCoin = %d, want 600", got)
+	}
+	if h.issuer.Issued != 600 {
+		t.Fatalf("Issued = %d", h.issuer.Issued)
+	}
+}
+
+func TestIssueUsesFreshPrice(t *testing.T) {
+	h := newHarness(t, policy.Never{})
+	h.setPrice(300_00)
+	h.issue(t, "alice", 1500) // $450 -> 300 SCoin
+	h.setPrice(150_00)        // price halves
+	h.issue(t, "bob", 1500)   // $225 -> 150 SCoin
+	if got := h.balance(t, "alice"); got != 300 {
+		t.Fatalf("alice = %d, want 300", got)
+	}
+	if got := h.balance(t, "bob"); got != 150 {
+		t.Fatalf("bob = %d, want 150", got)
+	}
+}
+
+func TestRedeemBurns(t *testing.T) {
+	h := newHarness(t, policy.Never{})
+	h.setPrice(200_00)
+	h.issue(t, "alice", 3000) // $600 -> 400 SCoin
+	h.redeem(t, "alice", 100)
+	if got := h.balance(t, "alice"); got != 300 {
+		t.Fatalf("alice = %d after redeem, want 300", got)
+	}
+	if h.issuer.Redeemed != 100 {
+		t.Fatalf("Redeemed = %d", h.issuer.Redeemed)
+	}
+	supply, _ := h.feed.Chain.View(h.issuer.Token().Address(), "totalSupply", nil)
+	if supply.(uint64) != 300 {
+		t.Fatalf("supply = %d", supply)
+	}
+}
+
+func TestIssueWorksWithReplicatedPrice(t *testing.T) {
+	// With Always (BL2) the price record is on-chain: the callback fires
+	// synchronously inside the issue transaction.
+	h := newHarness(t, policy.Always{})
+	h.setPrice(300_00)
+	before := h.feed.Chain.TxCount()
+	h.issue(t, "alice", 3000)
+	if got := h.balance(t, "alice"); got != 600 {
+		t.Fatalf("alice = %d", got)
+	}
+	// Synchronous path: exactly one transaction (the issue itself), no
+	// deliver.
+	if h.feed.Chain.TxCount() != before+1 {
+		t.Fatalf("tx count delta = %d, want 1 (synchronous callback)", h.feed.Chain.TxCount()-before)
+	}
+}
+
+func TestIssueAsyncWithNRPrice(t *testing.T) {
+	h := newHarness(t, policy.Never{})
+	h.setPrice(300_00)
+	before := h.feed.Chain.TxCount()
+	h.issue(t, "alice", 3000)
+	// Asynchronous path: issue tx + deliver tx.
+	if h.feed.Chain.TxCount() < before+2 {
+		t.Fatalf("tx count delta = %d, want >= 2 (deliver path)", h.feed.Chain.TxCount()-before)
+	}
+	if got := h.balance(t, "alice"); got != 600 {
+		t.Fatalf("alice = %d (async mint must still land)", got)
+	}
+}
+
+func TestPriceEncodingRoundTrip(t *testing.T) {
+	for _, p := range []uint64{1, 15000, 1 << 40} {
+		got, err := DecodePrice(EncodePrice(p))
+		if err != nil || got != p {
+			t.Fatalf("round trip %d: %d, %v", p, got, err)
+		}
+	}
+	if _, err := DecodePrice([]byte{1, 2}); err == nil {
+		t.Fatal("short price accepted")
+	}
+}
+
+func TestDustIssueRejected(t *testing.T) {
+	h := newHarness(t, policy.Never{})
+	h.setPrice(300_00)
+	// 0 milli-ETH mints nothing: rejected by collateral check. The
+	// rejection surfaces as a deliver-tx error inside the read path.
+	_ = h.feed.ReadFrom("scoin-issuer", "issue", IssueArgs{Buyer: "alice", EtherMilli: 0}, 64)
+	if h.issuer.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", h.issuer.Rejected)
+	}
+	if got := h.balance(t, "alice"); got != 0 {
+		t.Fatalf("alice = %d, want 0", got)
+	}
+}
+
+func TestFeedLayerVsAppLayerGas(t *testing.T) {
+	// Table 3's structure: application Gas (issuer) is measured separately
+	// from feed Gas (manager). Both must be nonzero and sum (with the
+	// reader-less DU) below total.
+	h := newHarness(t, policy.Never{})
+	h.setPrice(300_00)
+	h.issue(t, "alice", 3000)
+	feedGas := h.feed.FeedGas()
+	appGas := h.feed.Chain.GasOf("scoin-issuer") + h.feed.Chain.GasOf(h.issuer.Token().Address())
+	if feedGas == 0 || appGas == 0 {
+		t.Fatalf("feed=%d app=%d", feedGas, appGas)
+	}
+	if feedGas+appGas > h.feed.Chain.TotalGas() {
+		t.Fatalf("attribution exceeds total: %d + %d > %d", feedGas, appGas, h.feed.Chain.TotalGas())
+	}
+}

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+
+	"grub/internal/core"
+	"grub/internal/gas"
+	"grub/internal/policy"
+	"grub/internal/workload"
+)
+
+// ratioPoints is the X axis of Figures 3 and 7.
+var ratioPoints = []float64{0, 0.125, 0.5, 1, 4, 16, 64, 256}
+
+// RunFig3 reproduces the §2.3 preliminary measurement: BL1 vs BL2 Gas per
+// operation across read-write ratios on a single KV record.
+func RunFig3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ops := cfg.scaled(2048, 128)
+	fmt.Fprintln(cfg.W, "Figure 3: per-operation Gas of static baselines, single 32B record")
+	fmt.Fprintln(cfg.W, "paper shape: BL1 wins write-heavy (>100x), crossover ~1.5, BL2 wins read-heavy")
+	fmt.Fprintf(cfg.W, "%-12s %18s %18s %10s\n", "read/write", "BL1 gas/op", "BL2 gas/op", "BL1/BL2")
+	for _, r := range ratioPoints {
+		trace := workload.RatioFraction("price", r, ops, 32, cfg.Seed)
+		_, bl1, err := runTrace(bl1Kind(32), trace)
+		if err != nil {
+			return err
+		}
+		_, bl2, err := runTrace(bl2Unbatched(), trace)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "%-12v %18.0f %18.0f %10.2f\n", r, bl1, bl2, bl1/bl2)
+	}
+	return nil
+}
+
+// RunFig7 reproduces §5.1: converged Gas per operation across ratios for
+// BL1, BL2, the on-chain-trace dynamic baselines and GRuB.
+func RunFig7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ops := cfg.scaled(2048, 128)
+	bl3 := feedKind{name: "BL3 (on-chain rw-trace)", mk: func() (policy.Policy, core.Options) {
+		return policy.NewMemoryless(2), core.Options{EpochOps: 32, Trace: core.TraceReadsWrites}
+	}}
+	bl3r := feedKind{name: "BL3r (on-chain r-trace)", mk: func() (policy.Policy, core.Options) {
+		return policy.NewMemoryless(2), core.Options{EpochOps: 32, Trace: core.TraceReads}
+	}}
+	kinds := []feedKind{bl1Kind(32), bl2Unbatched(), bl3, bl3r, grubKind(2, 32)}
+	fmt.Fprintln(cfg.W, "Figure 7: converged Gas/op with varying read-write ratio")
+	fmt.Fprintln(cfg.W, "paper shape: BL1/BL2 crossover ~2; GRuB tracks the cheaper static baseline;")
+	fmt.Fprintln(cfg.W, "on-chain-trace baselines cost up to an order of magnitude more at read-heavy")
+	fmt.Fprintf(cfg.W, "%-12s", "read/write")
+	for _, k := range kinds {
+		fmt.Fprintf(cfg.W, " %24s", k.name)
+	}
+	fmt.Fprintln(cfg.W)
+	for _, r := range ratioPoints {
+		trace := workload.RatioFraction("price", r, ops, 32, cfg.Seed)
+		fmt.Fprintf(cfg.W, "%-12v", r)
+		for _, k := range kinds {
+			_, perOp, err := runTrace(k, trace)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.W, " %24.0f", perOp)
+		}
+		fmt.Fprintln(cfg.W)
+	}
+	return nil
+}
+
+// RunFig8a reproduces the algorithm comparison: memoryless vs memorizing vs
+// the offline optimum on the adversarial-adjacent repeating workload (K=8,
+// ratio K+1).
+func RunFig8a(cfg Config) error {
+	cfg = cfg.withDefaults()
+	const k = 8
+	rounds := cfg.scaled(32, 9)
+	trace := workload.Ratio("k", 1, k+1, rounds, 32, cfg.Seed)
+
+	// The offline optimum needs the policy-level op trace up front.
+	pOps := make([]policy.Op, len(trace))
+	for i, op := range trace {
+		pOps[i] = policy.Op{Write: op.Write, Key: op.Key}
+	}
+	costs := policy.CostsForRecord(gas.DefaultSchedule(), 32, 0)
+
+	kinds := []feedKind{
+		{name: "memoryless (K=8)", mk: func() (policy.Policy, core.Options) {
+			return policy.NewMemoryless(k), core.Options{EpochOps: 32}
+		}},
+		{name: "memorizing (K=8,D=1)", mk: func() (policy.Policy, core.Options) {
+			return policy.NewMemorizing(k, 1), core.Options{EpochOps: 32}
+		}},
+		{name: "offline optimal", mk: func() (policy.Policy, core.Options) {
+			return policy.NewOfflineOptimal(pOps, costs), core.Options{EpochOps: 32}
+		}},
+	}
+	fmt.Fprintln(cfg.W, "Figure 8a: Gas/op timeline, repeating workload of 1 write + 9 reads (K=K'=8)")
+	fmt.Fprintln(cfg.W, "paper shape: memoryless stays ~constant and high; memorizing converges toward optimal")
+	var names []string
+	var series [][]core.EpochStat
+	for _, kind := range kinds {
+		s, _, err := runSeries(kind, trace)
+		if err != nil {
+			return err
+		}
+		names = append(names, kind.name)
+		series = append(series, s)
+	}
+	printSeries(cfg.W, "epoch", names, series, 1)
+	return nil
+}
+
+// RunFig8b reproduces the record-size sweep: Gas per operation for records
+// of 1..16 words under a moderately read-heavy ratio.
+func RunFig8b(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ops := cfg.scaled(1024, 128)
+	fmt.Fprintln(cfg.W, "Figure 8b: Gas/op vs record size (read-write ratio 4)")
+	fmt.Fprintln(cfg.W, "paper shape: linear growth; GRuB cheapest, up to 7x vs BL2 and 3x vs BL1 at 16 words")
+	fmt.Fprintf(cfg.W, "%-14s %18s %18s %18s\n", "record(words)", "BL1 gas/op", "BL2 gas/op", "GRuB gas/op")
+	for _, words := range []int{1, 2, 4, 8, 16} {
+		trace := workload.RatioFraction("k", 4, ops, words*32, cfg.Seed)
+		_, bl1, err := runTrace(bl1Kind(32), trace)
+		if err != nil {
+			return err
+		}
+		_, bl2, err := runTrace(bl2Unbatched(), trace)
+		if err != nil {
+			return err
+		}
+		_, grub, err := runTrace(grubKind(2, 32), trace)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "%-14d %18.0f %18.0f %18.0f\n", words, bl1, bl2, grub)
+	}
+	return nil
+}
+
+// RunFig11 reproduces the K sweep: memoryless GRuB's Gas per op across K for
+// ratios 2, 4, 8.
+func RunFig11(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ops := cfg.scaled(2048, 256)
+	ks := []int{1, 2, 4, 8, 16, 32, 64}
+	ratios := []float64{2, 4, 8}
+	fmt.Fprintln(cfg.W, "Figure 11: GRuB (memoryless) Gas/op with varying K")
+	fmt.Fprintln(cfg.W, "paper shape: per ratio, Gas peaks when K matches the read burst length (all")
+	fmt.Fprintln(cfg.W, "replication wasted), then falls to a constant once K exceeds the burst")
+	fmt.Fprintf(cfg.W, "%-6s", "K")
+	for _, r := range ratios {
+		fmt.Fprintf(cfg.W, " %16s", fmt.Sprintf("ratio=%g", r))
+	}
+	fmt.Fprintln(cfg.W)
+	for _, k := range ks {
+		fmt.Fprintf(cfg.W, "%-6d", k)
+		for _, r := range ratios {
+			trace := workload.RatioFraction("k", r, ops, 32, cfg.Seed)
+			_, perOp, err := runTrace(grubKind(k, 32), trace)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.W, " %16.0f", perOp)
+		}
+		fmt.Fprintln(cfg.W)
+	}
+	return nil
+}
+
+// thresholdRatio finds the read-write ratio at which BL1 and BL2 cost the
+// same, by bisection over the measured per-op Gas difference.
+func thresholdRatio(cfg Config, valueBytes, preload, ops int) (float64, error) {
+	diff := func(r float64) (float64, error) {
+		mk := func(kind feedKind) (float64, error) {
+			p, opts := kind.mk()
+			f := core.NewFeed(newChain(), p, opts)
+			// Preload the store (data size affects proof sizes, hence
+			// BL1's read cost) in one staged batch: one digest rebuild.
+			for i := 0; i < preload; i++ {
+				f.DO.StageWrite(core.KV{Key: fmt.Sprintf("pre-%07d", i), Value: make([]byte, valueBytes)})
+			}
+			f.FlushEpoch()
+			base := f.FeedGas()
+			trace := workload.RatioFraction("pre-0000000", r, ops, valueBytes, cfg.Seed)
+			if err := f.Process(trace); err != nil {
+				return 0, err
+			}
+			f.FlushEpoch()
+			return float64(f.FeedGas()-base) / float64(len(trace)), nil
+		}
+		bl1, err := mk(bl1Kind(32))
+		if err != nil {
+			return 0, err
+		}
+		bl2, err := mk(bl2Kind())
+		if err != nil {
+			return 0, err
+		}
+		return bl1 - bl2, nil
+	}
+	lo, hi := 0.01, 64.0
+	dLo, err := diff(lo)
+	if err != nil {
+		return 0, err
+	}
+	if dLo > 0 {
+		return lo, nil // BL1 already loses at ~write-only: threshold below range
+	}
+	for i := 0; i < 8; i++ {
+		mid := (lo + hi) / 2
+		d, err := diff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if d < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// RunFig12a reproduces the threshold-vs-record-size sweep.
+func RunFig12a(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ops := cfg.scaled(1024, 192)
+	fmt.Fprintln(cfg.W, "Figure 12a: threshold read-write ratio vs record size")
+	fmt.Fprintln(cfg.W, "paper shape: threshold grows with record size (storage writes outpace calldata)")
+	fmt.Fprintf(cfg.W, "%-14s %14s\n", "record(bytes)", "threshold")
+	for _, size := range []int{32, 512, 4096} {
+		th, err := thresholdRatio(cfg, size, 64, ops)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "%-14d %14.2f\n", size, th)
+	}
+	return nil
+}
+
+// RunFig12b reproduces the threshold-vs-data-size sweep: more records mean
+// longer proofs on BL1's read path, pushing the threshold down.
+func RunFig12b(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ops := cfg.scaled(1024, 192)
+	// The paper sweeps up to 2^20 records; the proof length (the only
+	// data-size-dependent cost) grows with log2(n), so 2^14 already
+	// exhibits the trend at a tractable preload cost.
+	sizes := []int{256, 4096, 16384}
+	fmt.Fprintln(cfg.W, "Figure 12b: threshold read-write ratio vs data size (records in store)")
+	fmt.Fprintln(cfg.W, "paper shape: threshold shrinks as proofs grow with the dataset")
+	fmt.Fprintf(cfg.W, "%-14s %14s\n", "records", "threshold")
+	for _, n := range sizes {
+		th, err := thresholdRatio(cfg, 32, n, ops)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "%-14d %14.2f\n", n, th)
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"grub/internal/apps/scoin"
+	"grub/internal/btc"
+	"grub/internal/core"
+	"grub/internal/policy"
+	"grub/internal/workload"
+)
+
+// RunTable1 regenerates Table 1: the reads-per-write distribution of the
+// ethPriceOracle trace, side by side with the paper's published fractions.
+func RunTable1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	trace := workload.EthPriceOracle("ETH", workload.EthPriceWrites, 32, cfg.Seed)
+	hist := workload.BurstHistogram(trace)
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	fmt.Fprintln(cfg.W, "Table 1: distribution of writes by the number of reads following (ethPriceOracle)")
+	fmt.Fprintf(cfg.W, "%-6s %12s %12s\n", "#r", "measured", "paper")
+	for _, k := range histKeys(hist) {
+		paper := workload.EthPriceDistribution[k]
+		fmt.Fprintf(cfg.W, "%-6d %11.2f%% %11.2f%%\n", k, 100*float64(hist[k])/float64(total), 100*paper)
+	}
+	return nil
+}
+
+// RunFig2 regenerates the Figure 2 view: the per-write read-burst series of
+// the 5-day trace.
+func RunFig2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	trace := workload.EthPriceOracle("ETH", workload.EthPriceWrites, 32, cfg.Seed)
+	hist := workload.BurstHistogram(trace)
+	bursts := make([]int, 0, workload.EthPriceWrites)
+	run := 0
+	started := false
+	for _, op := range trace {
+		if op.Write {
+			if started {
+				bursts = append(bursts, run)
+			}
+			run = 0
+			started = true
+		} else {
+			run++
+		}
+	}
+	bursts = append(bursts, run)
+	maxB := 0
+	for _, b := range bursts {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	fmt.Fprintln(cfg.W, "Figure 2: number of reads after each write (5-day ethPriceOracle trace)")
+	fmt.Fprintf(cfg.W, "writes=%d max-burst=%d (paper: up to 20)\n", len(bursts), maxB)
+	fmt.Fprintln(cfg.W, "write-seq  reads-after (every 40th write)")
+	for i := 0; i < len(bursts); i += 40 {
+		fmt.Fprintf(cfg.W, "%-10d %d\n", i+1, bursts[i])
+	}
+	_ = hist
+	return nil
+}
+
+// preloadAssets stages the 4096-record price-feed store before measurement
+// (store size determines deliver-proof sizes).
+func preloadAssets(f *core.Feed, n int) {
+	for i := 0; i < n; i++ {
+		f.DO.StageWrite(core.KV{Key: workload.AssetKey(i), Value: make([]byte, 32)})
+	}
+	f.FlushEpoch()
+}
+
+// runOracleSeries drives the multi-asset ethPriceOracle trace over a
+// preloaded 4096-record store.
+func runOracleSeries(kind feedKind, trace []workload.Op) ([]core.EpochStat, float64, error) {
+	p, opts := kind.mk()
+	f := core.NewFeed(newChain(), p, opts)
+	preloadAssets(f, 4096)
+	base := f.FeedGas()
+	series, err := f.ProcessSeries(trace)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", kind.name, err)
+	}
+	f.FlushEpoch()
+	return series, float64(f.FeedGas() - base), nil
+}
+
+// RunFig5 reproduces the §4.1 evaluation: the ethPriceOracle trace over a
+// 4096-asset price feed, comparing BL1, BL2 and GRuB (K=1) per epoch of 32
+// operations.
+func RunFig5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	writes := cfg.scaled(workload.EthPriceWrites, 100)
+	trace := workload.EthPriceOracleMultiAsset(4096, 10, writes, 32, cfg.Seed)
+	kinds := []feedKind{bl1Kind(32), bl2Kind(), grubKind(1, 32)}
+	fmt.Fprintln(cfg.W, "Figure 5: Gas/op per epoch (32 ops) under the ethPriceOracle trace")
+	fmt.Fprintln(cfg.W, "paper shape: GRuB lowest throughout; BL1 close except in read bursts")
+	var names []string
+	var series [][]core.EpochStat
+	var totals []float64
+	for _, k := range kinds {
+		s, total, err := runOracleSeries(k, trace)
+		if err != nil {
+			return err
+		}
+		names = append(names, k.name)
+		series = append(series, s)
+		totals = append(totals, total)
+	}
+	printSeries(cfg.W, "epoch", names, series, len(series[0])/40+1)
+	fmt.Fprintln(cfg.W, "\naggregate feed Gas:")
+	for i, n := range names {
+		fmt.Fprintf(cfg.W, "  %-26s %14.0f (%+.1f%% vs GRuB)\n", n, totals[i], 100*(totals[i]-totals[2])/totals[2])
+	}
+	return nil
+}
+
+// RunTable3 reproduces Table 3: aggregate Gas at the data-feed layer and in
+// the end application (SCoinIssuer), per baseline.
+func RunTable3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	writes := cfg.scaled(workload.EthPriceWrites, 100)
+	bursts := workload.SampleBursts(workload.EthPriceDistribution, writes, cfg.Seed)
+
+	type row struct {
+		name            string
+		feedGas, appGas float64
+	}
+	var rows []row
+	for _, kind := range []feedKind{bl1Kind(32), bl2Kind(), grubKind(1, 32)} {
+		p, opts := kind.mk()
+		c := newChain()
+		f := core.NewFeed(c, p, opts)
+		// The issuer consumes the hot asset of the same multi-asset
+		// setup as Figure 5 (4096 records, 10-asset update batches).
+		hot := workload.AssetKey(0)
+		iss := scoin.New(c, "scoin-issuer", "grub-manager", hot)
+		preloadAssets(f, 4096)
+		price := uint64(200_00)
+		// The hot assets must carry decodable prices before any consumer
+		// reads them.
+		for b := 0; b < 10; b++ {
+			f.Write(core.KV{Key: workload.AssetKey(b), Value: scoin.EncodePrice(price)})
+		}
+		f.FlushEpoch()
+		base := f.FeedGas()
+		flip := false
+		for _, reads := range bursts {
+			price += 37 // drifting price
+			for b := 0; b < 10; b++ {
+				f.Write(core.KV{Key: workload.AssetKey(b), Value: scoin.EncodePrice(price)})
+			}
+			for r := 0; r < reads; r++ {
+				// Each peek maps to issue or redeem at equal chance
+				// (paper §4.1).
+				var err error
+				if flip = !flip; flip {
+					err = f.ReadFrom("scoin-issuer", "issue", scoin.IssueArgs{Buyer: "alice", EtherMilli: 3000}, 64)
+				} else {
+					if iss.Issued-iss.Redeemed > 100 {
+						err = f.ReadFrom("scoin-issuer", "redeem", scoin.RedeemArgs{Seller: "alice", SCoin: 50}, 64)
+					} else {
+						err = f.ReadFrom("scoin-issuer", "issue", scoin.IssueArgs{Buyer: "alice", EtherMilli: 3000}, 64)
+					}
+				}
+				if err != nil {
+					return fmt.Errorf("%s: %w", kind.name, err)
+				}
+			}
+		}
+		f.FlushEpoch()
+		feed := float64(f.FeedGas() - base)
+		app := float64(c.GasOf("scoin-issuer") + c.GasOf(iss.Token().Address()))
+		rows = append(rows, row{kind.name, feed, feed + app})
+	}
+	fmt.Fprintln(cfg.W, "Table 3: aggregate Gas at the data-feed layer and with SCoinIssuer on top")
+	fmt.Fprintln(cfg.W, "paper: BL1 +64%/+67%, BL2 +11%/+8.7% over GRuB")
+	fmt.Fprintf(cfg.W, "%-26s %16s %16s\n", "", "price feed", "feed+SCoinIssuer")
+	grub := rows[2]
+	for _, r := range rows {
+		fmt.Fprintf(cfg.W, "%-26s %16.0f (%+5.1f%%) %16.0f (%+5.1f%%)\n",
+			r.name, r.feedGas, 100*(r.feedGas-grub.feedGas)/grub.feedGas,
+			r.appGas, 100*(r.appGas-grub.appGas)/grub.appGas)
+	}
+	return nil
+}
+
+// RunFig6 reproduces the §4.2 evaluation: the BtcRelay benchmark, epochs of
+// 4 transactions, GRuB with K=2 and a replica budget (reusable slots).
+func RunFig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	writes := cfg.scaled(208, 60)
+	trace := workload.BtcRelayPhased(writes, btc.HeaderSize, 2, cfg.Seed)
+	// The BtcRelay feed is append-only: per-key counters never see a
+	// second write, so GRuB runs the feed-global adaptive heuristic with
+	// a bounded replica budget (reusable slots + LRU eviction, §4.2).
+	grubReuse := feedKind{name: "GRuB (global adaptive)", mk: func() (policy.Policy, core.Options) {
+		return policy.NewGlobalAdaptive(2.3, 8), core.Options{EpochOps: 4, MaxReplicas: 16}
+	}}
+	kinds := []feedKind{bl1Kind(4), bl2Unbatched(), grubReuse}
+	fmt.Fprintln(cfg.W, "Figure 6: Gas/op per epoch (4 ops) under the BtcRelay trace")
+	fmt.Fprintln(cfg.W, "paper shape: write-heavy first half favours BL1, read-heavy second half favours")
+	fmt.Fprintln(cfg.W, "BL2; GRuB converges to each in turn (paper savings 56.7%/14.5% vs BL1/BL2)")
+	var names []string
+	var series [][]core.EpochStat
+	var totals []float64
+	for _, k := range kinds {
+		s, total, err := runSeries(k, trace)
+		if err != nil {
+			return err
+		}
+		names = append(names, k.name)
+		series = append(series, s)
+		totals = append(totals, float64(total))
+	}
+	printSeries(cfg.W, "epoch", names, series, len(series[0])/40+1)
+	fmt.Fprintln(cfg.W, "\naggregate feed Gas:")
+	for i, n := range names {
+		fmt.Fprintf(cfg.W, "  %-26s %14.0f\n", n, totals[i])
+	}
+	fmt.Fprintf(cfg.W, "GRuB saving vs BL1: %.1f%%, vs BL2: %.1f%%\n",
+		100*(totals[0]-totals[2])/totals[0], 100*(totals[1]-totals[2])/totals[1])
+	return nil
+}
+
+// RunTable6 regenerates Table 6: the BtcRelay reads-per-write distribution.
+func RunTable6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	trace := workload.BtcRelay(cfg.scaled(10000, 1000), btc.HeaderSize, 1, cfg.Seed)
+	hist := workload.BurstHistogram(trace)
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	fmt.Fprintln(cfg.W, "Table 6: distribution of writes by the number of reads following (BtcRelay)")
+	fmt.Fprintf(cfg.W, "%-6s %12s %12s\n", "#r", "measured", "paper")
+	for _, k := range histKeys(hist) {
+		paper := workload.BtcRelayDistribution[k]
+		fmt.Fprintf(cfg.W, "%-6d %11.2f%% %11.2f%%\n", k, 100*float64(hist[k])/float64(total), 100*paper)
+	}
+	return nil
+}
+
+// RunFig16 regenerates the BtcRelay workload analysis: the reads-per-write
+// series (16a) and the read-write delay distribution (16b).
+func RunFig16(cfg Config) error {
+	cfg = cfg.withDefaults()
+	trace := workload.BtcRelay(cfg.scaled(10000, 1000), btc.HeaderSize, 6, cfg.Seed)
+	hist := workload.BurstHistogram(trace)
+	fmt.Fprintln(cfg.W, "Figure 16a: reads-per-write histogram (multi-block verification expands bursts)")
+	for _, k := range histKeys(hist) {
+		fmt.Fprintf(cfg.W, "%-6d %d\n", k, hist[k])
+	}
+	delays := workload.ReadWriteDelays(trace)
+	sort.Ints(delays)
+	fmt.Fprintln(cfg.W, "\nFigure 16b: read-write delay distribution (in blocks between write and read)")
+	if len(delays) > 0 {
+		pct := func(p float64) int { return delays[int(p*float64(len(delays)-1))] }
+		fmt.Fprintf(cfg.W, "p50=%d p90=%d p99=%d max=%d (paper: most reads within ~4h of the block write)\n",
+			pct(0.5), pct(0.9), pct(0.99), delays[len(delays)-1])
+	}
+	return nil
+}
+
+// RunFig15 reproduces the adaptive-K comparison on the ethPriceOracle trace.
+func RunFig15(cfg Config) error {
+	return runAdaptive(cfg, true)
+}
+
+// RunTable5 prints the aggregate view of the same experiment.
+func RunTable5(cfg Config) error {
+	return runAdaptive(cfg, false)
+}
+
+func runAdaptive(cfg Config, withSeries bool) error {
+	cfg = cfg.withDefaults()
+	writes := cfg.scaled(workload.EthPriceWrites, 100)
+	trace := workload.EthPriceOracleMultiAsset(4096, 10, writes, 32, cfg.Seed)
+	threshold := 2.3 // Equation 1 for the default schedule
+	kinds := []feedKind{
+		grubKind(1, 32),
+		{name: "memorizing adaptive-K1", mk: func() (policy.Policy, core.Options) {
+			return policy.NewAdaptiveK1(threshold, 3), core.Options{EpochOps: 32}
+		}},
+		{name: "memorizing adaptive-K2", mk: func() (policy.Policy, core.Options) {
+			return policy.NewAdaptiveK2(threshold, 3), core.Options{EpochOps: 32}
+		}},
+	}
+	var names []string
+	var series [][]core.EpochStat
+	var totals []float64
+	for _, k := range kinds {
+		s, total, err := runOracleSeries(k, trace)
+		if err != nil {
+			return err
+		}
+		names = append(names, k.name)
+		series = append(series, s)
+		totals = append(totals, total)
+	}
+	if withSeries {
+		fmt.Fprintln(cfg.W, "Figure 15: Gas/op per epoch under ethPriceOracle, static vs adaptive K")
+		printSeries(cfg.W, "epoch", names, series, len(series[0])/40+1)
+	}
+	fmt.Fprintln(cfg.W, "\nTable 5: aggregated Gas under ethPriceOracle")
+	fmt.Fprintln(cfg.W, "paper: K1 +0.8%, K2 -12.8% vs static K=1")
+	for i, n := range names {
+		fmt.Fprintf(cfg.W, "  %-26s %14.0f (%+.1f%% vs static K)\n", n, totals[i], 100*(totals[i]-totals[0])/totals[0])
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+
+	"grub/internal/core"
+	"grub/internal/gas"
+	"grub/internal/workload/ycsb"
+)
+
+// ycsbMix drives the paper's four-phase mixed workload (e.g. A,B,A,B)
+// through a feed kind, returning the per-epoch series and total feed Gas.
+// The preload happens before measurement starts, as in the paper.
+func ycsbMix(cfg Config, kind feedKind, specs [2]ycsb.Spec, records, phaseOps, valueSize int) ([]core.EpochStat, gas.Gas, error) {
+	phases := []ycsb.Phase{
+		{Spec: specs[0], Ops: phaseOps},
+		{Spec: specs[1], Ops: phaseOps},
+		{Spec: specs[0], Ops: phaseOps},
+		{Spec: specs[1], Ops: phaseOps},
+	}
+	preload, phaseTraces := ycsb.Mixed(phases, records, valueSize, cfg.Seed)
+
+	p, opts := kind.mk()
+	f := core.NewFeed(newChain(), p, opts)
+	// Preload without measuring (large epochs make it cheapish).
+	for _, op := range preload {
+		f.DO.StageWrite(core.KV{Key: op.Key, Value: op.Value})
+	}
+	f.FlushEpoch()
+	base := f.FeedGas()
+
+	var series []core.EpochStat
+	for _, trace := range phaseTraces {
+		s, err := f.ProcessSeries(trace)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", kind.name, err)
+		}
+		for i := range s {
+			s[i].Epoch = len(series)
+			series = append(series, s[i])
+		}
+		f.FlushEpoch()
+	}
+	return series, f.FeedGas() - base, nil
+}
+
+// ycsbScale returns the (records, phaseOps) sizes for the configured scale.
+// Paper scale: 2^16 preloaded records, 4096 ops per phase.
+func (c Config) ycsbScale() (records, phaseOps int) {
+	return c.scaled(1<<16, 1024), c.scaled(4096, 256)
+}
+
+func runYCSBFigure(cfg Config, title, paperNote string, specs [2]ycsb.Spec, valueSize int) error {
+	cfg = cfg.withDefaults()
+	records, phaseOps := cfg.ycsbScale()
+	kinds := []feedKind{bl1Kind(4), bl2Kind(), grubDeferred(2, 4)}
+	fmt.Fprintln(cfg.W, title)
+	fmt.Fprintln(cfg.W, paperNote)
+	fmt.Fprintf(cfg.W, "preload=%d records, 4 phases x %d ops, %dB values, epoch=4 ops\n",
+		records, phaseOps, valueSize)
+	var names []string
+	var series [][]core.EpochStat
+	var totals []float64
+	for _, k := range kinds {
+		s, total, err := ycsbMix(cfg, k, specs, records, phaseOps, valueSize)
+		if err != nil {
+			return err
+		}
+		names = append(names, k.name)
+		series = append(series, s)
+		totals = append(totals, float64(total))
+	}
+	printSeries(cfg.W, "epoch", names, series, len(series[0])/32+1)
+	fmt.Fprintln(cfg.W, "\naggregate feed Gas:")
+	for i, n := range names {
+		fmt.Fprintf(cfg.W, "  %-26s %16.0f (%+.1f%% vs GRuB)\n", n, totals[i], 100*(totals[i]-totals[2])/totals[2])
+	}
+	return nil
+}
+
+// RunFig9 reproduces the mixed A,B experiment (1 KiB records).
+func RunFig9(cfg Config) error {
+	return runYCSBFigure(cfg,
+		"Figure 9: mixed YCSB workloads A,B (50%/95% reads), Gas/op per epoch",
+		"paper shape: GRuB tracks BL1 in A phases, approaches BL2 in B phases;\naggregate savings 31.6% vs BL1, 45.4% vs BL2",
+		[2]ycsb.Spec{ycsb.WorkloadA, ycsb.WorkloadB}, 1024)
+}
+
+// RunFig13a reproduces the mixed A,E experiment (scans, 1 KiB records).
+func RunFig13a(cfg Config) error {
+	return runYCSBFigure(cfg,
+		"Figure 13a: mixed YCSB workloads A,E (scans), Gas/op per epoch",
+		"paper shape: replication spike at the start of E phases; aggregate savings\n25% vs BL1 and 74% vs BL2",
+		[2]ycsb.Spec{ycsb.WorkloadA, ycsb.WorkloadE}, 1024)
+}
+
+// RunFig13b reproduces the mixed A,F experiment (32 B records).
+func RunFig13b(cfg Config) error {
+	return runYCSBFigure(cfg,
+		"Figure 13b: mixed YCSB workloads A,F (read-modify-write), Gas/op per epoch",
+		"paper shape: aggregate savings 54% vs BL1 and 10% vs BL2",
+		[2]ycsb.Spec{ycsb.WorkloadA, ycsb.WorkloadF}, 32)
+}
+
+// RunTable4 prints the aggregate Gas for all three mixes.
+func RunTable4(cfg Config) error {
+	cfg = cfg.withDefaults()
+	records, phaseOps := cfg.ycsbScale()
+	mixes := []struct {
+		name  string
+		specs [2]ycsb.Spec
+		size  int
+	}{
+		{"A,B", [2]ycsb.Spec{ycsb.WorkloadA, ycsb.WorkloadB}, 1024},
+		{"A,E", [2]ycsb.Spec{ycsb.WorkloadA, ycsb.WorkloadE}, 1024},
+		{"A,F", [2]ycsb.Spec{ycsb.WorkloadA, ycsb.WorkloadF}, 32},
+	}
+	fmt.Fprintln(cfg.W, "Table 4: aggregated feed Gas for mixed YCSB workloads")
+	fmt.Fprintln(cfg.W, "paper: BL1 +31.6%/+25.7%/+54.1%, BL2 +45.4%/+73.8%/+10.4% vs GRuB")
+	fmt.Fprintf(cfg.W, "%-10s %20s %20s %20s\n", "workload", "BL1", "BL2", "GRuB")
+	for _, mix := range mixes {
+		var totals []float64
+		for _, k := range []feedKind{bl1Kind(4), bl2Kind(), grubDeferred(2, 4)} {
+			_, total, err := ycsbMix(cfg, k, mix.specs, records, phaseOps, mix.size)
+			if err != nil {
+				return err
+			}
+			totals = append(totals, float64(total))
+		}
+		fmt.Fprintf(cfg.W, "%-10s %12.0f (%+.0f%%) %12.0f (%+.0f%%) %20.0f\n", mix.name,
+			totals[0], 100*(totals[0]-totals[2])/totals[2],
+			totals[1], 100*(totals[1]-totals[2])/totals[2],
+			totals[2])
+	}
+	return nil
+}
+
+// RunFig14 reproduces the K sweep under YCSB (mixed A,B).
+func RunFig14(cfg Config) error {
+	cfg = cfg.withDefaults()
+	records, phaseOps := cfg.ycsbScale()
+	// A lighter mix keeps the sweep tractable; shape is what matters.
+	records = records / 4
+	if records < 256 {
+		records = 256
+	}
+	phaseOps = phaseOps / 2
+	if phaseOps < 128 {
+		phaseOps = 128
+	}
+	specs := [2]ycsb.Spec{ycsb.WorkloadA, ycsb.WorkloadB}
+	fmt.Fprintln(cfg.W, "Figure 14: GRuB Gas/op under mixed YCSB A,B with varying K")
+	fmt.Fprintln(cfg.W, "paper shape: U curve with the minimum near K=2 (Equation 1); K<1 collapses to")
+	fmt.Fprintln(cfg.W, "K=1 with integer thresholds (documented deviation)")
+	var bl1PerOp, bl2PerOp float64
+	ops := 0
+	for _, k := range []feedKind{bl1Kind(4), bl2Kind()} {
+		series, total, err := ycsbMix(cfg, k, specs, records, phaseOps, 64)
+		if err != nil {
+			return err
+		}
+		ops = 0
+		for _, s := range series {
+			ops += s.Ops
+		}
+		if k.name == bl1Kind(4).name {
+			bl1PerOp = float64(total) / float64(ops)
+		} else {
+			bl2PerOp = float64(total) / float64(ops)
+		}
+	}
+	fmt.Fprintf(cfg.W, "%-6s %16s %16s %16s\n", "K", "GRuB gas/op", "BL1 gas/op", "BL2 gas/op")
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+		_, total, err := ycsbMix(cfg, grubDeferred(k, 4), specs, records, phaseOps, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "%-6d %16.0f %16.0f %16.0f\n", k, float64(total)/float64(ops), bl1PerOp, bl2PerOp)
+	}
+	return nil
+}

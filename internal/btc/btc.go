@@ -1,0 +1,213 @@
+// Package btc implements the simulated Bitcoin substrate behind the BtcRelay
+// case study (paper §4.2): block headers with proof-of-work linkage, a
+// transaction Merkle tree per block, and SPV inclusion proofs like those a
+// Bitcoin-pegged token verifies on Ethereum.
+//
+// The simulation uses a very low difficulty target (one leading zero byte)
+// so blocks mine instantly and deterministically, while keeping the real
+// verification structure: double-SHA256 header hashes, previous-hash
+// linkage, target checks and Merkle paths.
+package btc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"grub/internal/merkle"
+)
+
+// HashSize is the Bitcoin hash size.
+const HashSize = 32
+
+// Hash is a double-SHA256 digest.
+type Hash [HashSize]byte
+
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:4]) }
+
+// doubleSHA computes SHA256(SHA256(b)).
+func doubleSHA(b []byte) Hash {
+	first := sha256.Sum256(b)
+	return sha256.Sum256(first[:])
+}
+
+// Header is a Bitcoin-style block header. The on-wire encoding is a fixed 80
+// bytes, as in Bitcoin.
+type Header struct {
+	Version    uint32
+	PrevHash   Hash
+	MerkleRoot Hash
+	Time       uint32
+	Bits       uint32
+	Nonce      uint32
+}
+
+// HeaderSize is the canonical encoded header size.
+const HeaderSize = 80
+
+// Encode serializes the header to its 80-byte wire format.
+func (h Header) Encode() []byte {
+	buf := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(buf[0:4], h.Version)
+	copy(buf[4:36], h.PrevHash[:])
+	copy(buf[36:68], h.MerkleRoot[:])
+	binary.LittleEndian.PutUint32(buf[68:72], h.Time)
+	binary.LittleEndian.PutUint32(buf[72:76], h.Bits)
+	binary.LittleEndian.PutUint32(buf[76:80], h.Nonce)
+	return buf
+}
+
+// DecodeHeader parses an 80-byte header.
+func DecodeHeader(buf []byte) (Header, error) {
+	if len(buf) != HeaderSize {
+		return Header{}, fmt.Errorf("btc: header length %d, want %d", len(buf), HeaderSize)
+	}
+	var h Header
+	h.Version = binary.LittleEndian.Uint32(buf[0:4])
+	copy(h.PrevHash[:], buf[4:36])
+	copy(h.MerkleRoot[:], buf[36:68])
+	h.Time = binary.LittleEndian.Uint32(buf[68:72])
+	h.Bits = binary.LittleEndian.Uint32(buf[72:76])
+	h.Nonce = binary.LittleEndian.Uint32(buf[76:80])
+	return h, nil
+}
+
+// Hash returns the header's double-SHA256 id.
+func (h Header) Hash() Hash { return doubleSHA(h.Encode()) }
+
+// MeetsTarget reports whether the header hash satisfies the simulated
+// difficulty (leading zero byte).
+func (h Header) MeetsTarget() bool { return h.Hash()[0] == 0 }
+
+// Tx is a Bitcoin transaction payload (opaque bytes for the relay's
+// purposes).
+type Tx []byte
+
+// TxID returns the transaction id.
+func (t Tx) TxID() Hash { return doubleSHA(t) }
+
+// Block is a mined block: header plus transactions.
+type Block struct {
+	Height int
+	Header Header
+	Txs    []Tx
+}
+
+// txTree builds the Merkle tree over the block's transaction ids.
+func txTree(txs []Tx) *merkle.Tree {
+	leaves := make([]merkle.Hash, len(txs))
+	for i, tx := range txs {
+		id := tx.TxID()
+		leaves[i] = merkle.HashLeaf(id[:])
+	}
+	return merkle.New(leaves)
+}
+
+// Chain is a simulated Bitcoin chain.
+type Chain struct {
+	blocks []Block
+}
+
+// NewChain returns a chain with a mined genesis block.
+func NewChain() *Chain {
+	c := &Chain{}
+	c.Mine([]Tx{Tx("genesis")})
+	return c
+}
+
+// Height returns the tip height.
+func (c *Chain) Height() int { return len(c.blocks) - 1 }
+
+// Tip returns the latest block.
+func (c *Chain) Tip() Block { return c.blocks[len(c.blocks)-1] }
+
+// BlockAt returns the block at the given height.
+func (c *Chain) BlockAt(height int) (Block, error) {
+	if height < 0 || height >= len(c.blocks) {
+		return Block{}, fmt.Errorf("btc: no block at height %d", height)
+	}
+	return c.blocks[height], nil
+}
+
+// Mine assembles, solves and appends a block containing txs.
+func (c *Chain) Mine(txs []Tx) Block {
+	var prev Hash
+	if len(c.blocks) > 0 {
+		prev = c.Tip().Header.Hash()
+	}
+	root := txTree(txs).Root()
+	var mr Hash
+	copy(mr[:], root[:])
+	h := Header{
+		Version:    2,
+		PrevHash:   prev,
+		MerkleRoot: mr,
+		Time:       uint32(600 * (len(c.blocks) + 1)),
+		Bits:       0x1d00ffff,
+	}
+	for !h.MeetsTarget() {
+		h.Nonce++
+	}
+	b := Block{Height: len(c.blocks), Header: h, Txs: append([]Tx(nil), txs...)}
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+// SPVProof proves a transaction's inclusion in a block.
+type SPVProof struct {
+	Height  int
+	TxIndex int
+	Tx      Tx
+	Path    *merkle.Proof
+}
+
+// Size returns the proof's byte size for Gas accounting.
+func (p *SPVProof) Size() int { return 16 + len(p.Tx) + p.Path.Size() }
+
+// Prove builds an SPV proof for the txIndex-th transaction of the block at
+// height.
+func (c *Chain) Prove(height, txIndex int) (*SPVProof, error) {
+	b, err := c.BlockAt(height)
+	if err != nil {
+		return nil, err
+	}
+	if txIndex < 0 || txIndex >= len(b.Txs) {
+		return nil, fmt.Errorf("btc: tx index %d out of range", txIndex)
+	}
+	path, err := txTree(b.Txs).Prove(txIndex)
+	if err != nil {
+		return nil, err
+	}
+	return &SPVProof{Height: height, TxIndex: txIndex, Tx: b.Txs[txIndex], Path: path}, nil
+}
+
+// ErrSPV is returned (wrapped) on SPV verification failures.
+var ErrSPV = errors.New("btc: spv verification failed")
+
+// VerifySPV checks an SPV proof against a known block header: the
+// transaction's id must chain to the header's Merkle root, and the header
+// must satisfy its proof-of-work target.
+func VerifySPV(header Header, p *SPVProof) error {
+	if p == nil || p.Path == nil {
+		return fmt.Errorf("%w: nil proof", ErrSPV)
+	}
+	if !header.MeetsTarget() {
+		return fmt.Errorf("%w: header misses PoW target", ErrSPV)
+	}
+	id := p.Tx.TxID()
+	var root merkle.Hash
+	copy(root[:], header.MerkleRoot[:])
+	if err := merkle.Verify(root, merkle.HashLeaf(id[:]), p.Path); err != nil {
+		return fmt.Errorf("%w: %v", ErrSPV, err)
+	}
+	return nil
+}
+
+// VerifyLinkage checks that child extends parent.
+func VerifyLinkage(parent, child Header) error {
+	if child.PrevHash != parent.Hash() {
+		return fmt.Errorf("%w: broken prev-hash linkage", ErrSPV)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package btc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderEncodeDecode(t *testing.T) {
+	c := NewChain()
+	b := c.Mine([]Tx{Tx("a"), Tx("b")})
+	got, err := DecodeHeader(b.Header.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b.Header {
+		t.Fatalf("round trip = %+v, want %+v", got, b.Header)
+	}
+	if len(b.Header.Encode()) != HeaderSize {
+		t.Fatalf("encoded size = %d", len(b.Header.Encode()))
+	}
+}
+
+func TestDecodeHeaderRejectsBadLength(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, 79)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestMinedBlocksMeetTarget(t *testing.T) {
+	c := NewChain()
+	for i := 0; i < 10; i++ {
+		b := c.Mine([]Tx{Tx(fmt.Sprintf("tx-%d", i))})
+		if !b.Header.MeetsTarget() {
+			t.Fatalf("block %d misses target", b.Height)
+		}
+	}
+}
+
+func TestChainLinkage(t *testing.T) {
+	c := NewChain()
+	for i := 0; i < 5; i++ {
+		c.Mine([]Tx{Tx(fmt.Sprintf("tx-%d", i))})
+	}
+	for h := 1; h <= c.Height(); h++ {
+		parent, _ := c.BlockAt(h - 1)
+		child, _ := c.BlockAt(h)
+		if err := VerifyLinkage(parent.Header, child.Header); err != nil {
+			t.Fatalf("linkage %d->%d: %v", h-1, h, err)
+		}
+	}
+	// Cross-linkage must fail.
+	a, _ := c.BlockAt(0)
+	b, _ := c.BlockAt(3)
+	if err := VerifyLinkage(a.Header, b.Header); err == nil {
+		t.Fatal("non-adjacent linkage accepted")
+	}
+}
+
+func TestSPVProofVerify(t *testing.T) {
+	c := NewChain()
+	txs := []Tx{Tx("deposit-1"), Tx("deposit-2"), Tx("deposit-3")}
+	b := c.Mine(txs)
+	for i := range txs {
+		p, err := c.Prove(b.Height, i)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", i, err)
+		}
+		if err := VerifySPV(b.Header, p); err != nil {
+			t.Fatalf("VerifySPV(%d): %v", i, err)
+		}
+	}
+}
+
+func TestSPVRejectsForgedTx(t *testing.T) {
+	c := NewChain()
+	b := c.Mine([]Tx{Tx("real")})
+	p, _ := c.Prove(b.Height, 0)
+	p.Tx = Tx("forged")
+	if err := VerifySPV(b.Header, p); !errors.Is(err, ErrSPV) {
+		t.Fatalf("forged tx accepted: %v", err)
+	}
+}
+
+func TestSPVRejectsWrongHeader(t *testing.T) {
+	c := NewChain()
+	b1 := c.Mine([]Tx{Tx("a")})
+	b2 := c.Mine([]Tx{Tx("b")})
+	p, _ := c.Prove(b1.Height, 0)
+	if err := VerifySPV(b2.Header, p); !errors.Is(err, ErrSPV) {
+		t.Fatalf("cross-block proof accepted: %v", err)
+	}
+}
+
+func TestSPVRejectsWeakPoW(t *testing.T) {
+	c := NewChain()
+	b := c.Mine([]Tx{Tx("a")})
+	p, _ := c.Prove(b.Height, 0)
+	weak := b.Header
+	weak.Nonce++ // break the solution
+	if weak.MeetsTarget() {
+		t.Skip("nonce+1 accidentally meets target")
+	}
+	if err := VerifySPV(weak, p); !errors.Is(err, ErrSPV) {
+		t.Fatalf("weak-PoW header accepted: %v", err)
+	}
+}
+
+func TestProveErrors(t *testing.T) {
+	c := NewChain()
+	if _, err := c.Prove(99, 0); err == nil {
+		t.Fatal("proof for missing block accepted")
+	}
+	if _, err := c.Prove(0, 99); err == nil {
+		t.Fatal("proof for missing tx accepted")
+	}
+}
+
+func TestSPVProperty(t *testing.T) {
+	f := func(n uint8, pick uint8) bool {
+		count := int(n%16) + 1
+		c := NewChain()
+		txs := make([]Tx, count)
+		for i := range txs {
+			txs[i] = Tx(fmt.Sprintf("tx-%d-%d", n, i))
+		}
+		b := c.Mine(txs)
+		i := int(pick) % count
+		p, err := c.Prove(b.Height, i)
+		if err != nil {
+			return false
+		}
+		return VerifySPV(b.Header, p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package chain implements a deterministic simulated blockchain with an
+// Ethereum-style Gas cost model, sufficient to reproduce every Gas
+// measurement in the GRuB paper.
+//
+// The simulator models:
+//
+//   - contracts as Go objects registering method handlers,
+//   - transactions with calldata-sized base costs (Table 2),
+//   - metered contract storage (insert/update/load at Table 2 prices),
+//   - an EVM-style event log for the request/deliver read path,
+//   - block production every B time units, transaction propagation delay Pt
+//     and a finality depth F (used by the protocol-consistency tests), and
+//   - per-contract Gas attribution, so experiments can split "feed layer"
+//     Gas from "application layer" Gas exactly like the paper's Table 3.
+//
+// There is no consensus, no adversarial miner and no bytecode: Gas in
+// Ethereum is a deterministic function of the operations performed, so a
+// faithful price table plus faithful operation counts reproduces the paper's
+// measured quantity.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"grub/internal/gas"
+	"grub/internal/sim"
+)
+
+// Address identifies a contract or an external account.
+type Address string
+
+// Params holds the blockchain timing model of paper §3.4: block interval B,
+// transaction propagation delay Pt and finality depth F.
+type Params struct {
+	// BlockInterval is B, the average time between blocks.
+	BlockInterval sim.Duration
+	// PropagationDelay is Pt, the time for a submitted transaction to
+	// reach all nodes (and thus become minable).
+	PropagationDelay sim.Duration
+	// FinalityDepth is F, the number of blocks after which a transaction
+	// is considered final (250 in Ethereum per the paper).
+	FinalityDepth int
+}
+
+// DefaultParams mirrors the constants quoted in the paper for Ethereum:
+// B ~ 13s, F = 250, and a small propagation delay.
+func DefaultParams() Params {
+	return Params{BlockInterval: 13, PropagationDelay: 2, FinalityDepth: 250}
+}
+
+// Handler executes a contract method. args is method-specific; the return
+// value is passed back to internal callers.
+type Handler func(ctx *Ctx, args any) (any, error)
+
+// Event is an EVM-log-style event emitted during execution.
+type Event struct {
+	Contract Address
+	Name     string
+	Data     any
+	// SizeBytes is the charged payload size.
+	SizeBytes int
+	Block     uint64
+	Time      sim.Time
+}
+
+// Tx is a transaction: an external call into a contract method.
+type Tx struct {
+	From   Address
+	To     Address
+	Method string
+	Args   any
+	// PayloadBytes is the calldata size used for the Table 2 transaction
+	// cost 21000 + 2176*words.
+	PayloadBytes int
+
+	// Filled in by execution.
+	Submitted sim.Time
+	Included  sim.Time
+	Block     uint64
+	GasUsed   gas.Gas
+	Err       error
+	Ret       any
+	executed  bool
+}
+
+// Executed reports whether the transaction has been included in a block.
+func (t *Tx) Executed() bool { return t.executed }
+
+// Receipt summarizes an executed transaction.
+type Receipt struct {
+	Block   uint64
+	GasUsed gas.Gas
+	Err     error
+	Ret     any
+}
+
+// Chain is the simulated blockchain. It is not safe for concurrent use: the
+// simulation is single-threaded for determinism.
+type Chain struct {
+	clock    *sim.Clock
+	params   Params
+	schedule gas.Schedule
+
+	handlers map[Address]map[string]Handler
+	storage  map[Address]map[string][]byte
+
+	mempool []*Tx
+	height  uint64
+	events  []Event
+	calls   []CallRecord
+
+	totalGas      gas.Gas
+	gasByContract map[Address]gas.Gas
+	txCount       int
+}
+
+// CallRecord is one entry of the node's execution trace: every contract call
+// (external or internal) is recorded, mirroring how an Ethereum full node
+// can trace internal calls without any Gas cost. GRuB's DO monitors gGet
+// reads through this trace (paper §3.2).
+type CallRecord struct {
+	To     Address
+	Method string
+	Args   any
+	Block  uint64
+	Time   sim.Time
+}
+
+// New creates a chain using clock for time and the given params and gas
+// schedule.
+func New(clock *sim.Clock, params Params, schedule gas.Schedule) *Chain {
+	return &Chain{
+		clock:         clock,
+		params:        params,
+		schedule:      schedule,
+		handlers:      make(map[Address]map[string]Handler),
+		storage:       make(map[Address]map[string][]byte),
+		gasByContract: make(map[Address]gas.Gas),
+	}
+}
+
+// NewDefault creates a chain with a fresh clock, default params and the
+// Table 2 schedule. It is the convenient constructor for experiments.
+func NewDefault() *Chain {
+	return New(sim.NewClock(0), DefaultParams(), gas.DefaultSchedule())
+}
+
+// Clock exposes the simulation clock.
+func (c *Chain) Clock() *sim.Clock { return c.clock }
+
+// Params returns the timing parameters.
+func (c *Chain) Params() Params { return c.params }
+
+// Schedule returns the gas schedule.
+func (c *Chain) Schedule() gas.Schedule { return c.schedule }
+
+// Height returns the current block height.
+func (c *Chain) Height() uint64 { return c.height }
+
+// TotalGas returns the cumulative gas across all executed transactions.
+func (c *Chain) TotalGas() gas.Gas { return c.totalGas }
+
+// GasOf returns the cumulative gas attributed to a contract (storage, hash,
+// log and call costs incurred while executing in its context, plus the base
+// cost of transactions addressed to it).
+func (c *Chain) GasOf(addr Address) gas.Gas { return c.gasByContract[addr] }
+
+// TxCount returns the number of executed transactions.
+func (c *Chain) TxCount() int { return c.txCount }
+
+// ErrUnknownContract is returned when calling an unregistered address.
+var ErrUnknownContract = errors.New("chain: unknown contract")
+
+// ErrUnknownMethod is returned when calling an unregistered method.
+var ErrUnknownMethod = errors.New("chain: unknown method")
+
+// Register installs a contract method handler at addr.
+func (c *Chain) Register(addr Address, method string, h Handler) {
+	m, ok := c.handlers[addr]
+	if !ok {
+		m = make(map[string]Handler)
+		c.handlers[addr] = m
+	}
+	m[method] = h
+}
+
+// Submit places a transaction in the mempool. It becomes minable after the
+// propagation delay Pt.
+func (c *Chain) Submit(tx *Tx) {
+	tx.Submitted = c.clock.Now()
+	c.mempool = append(c.mempool, tx)
+}
+
+// MineBlock advances time by one block interval and executes every mempool
+// transaction that has finished propagating. It returns the executed
+// transactions.
+func (c *Chain) MineBlock() []*Tx {
+	c.clock.Advance(c.params.BlockInterval)
+	c.height++
+	now := c.clock.Now()
+	var included, rest []*Tx
+	for _, tx := range c.mempool {
+		if tx.Submitted+c.params.PropagationDelay <= now {
+			included = append(included, tx)
+		} else {
+			rest = append(rest, tx)
+		}
+	}
+	c.mempool = rest
+	for _, tx := range included {
+		c.execute(tx)
+	}
+	return included
+}
+
+// MineUntilEmpty mines blocks until the mempool drains, returning all
+// executed transactions. It protects against livelock with a generous block
+// cap.
+func (c *Chain) MineUntilEmpty() []*Tx {
+	var all []*Tx
+	for i := 0; len(c.mempool) > 0; i++ {
+		if i > 1_000_000 {
+			panic("chain: MineUntilEmpty did not drain the mempool")
+		}
+		all = append(all, c.MineBlock()...)
+	}
+	return all
+}
+
+// execute runs one transaction, metering gas.
+func (c *Chain) execute(tx *Tx) {
+	tx.Included = c.clock.Now()
+	tx.Block = c.height
+	tx.executed = true
+	meter := &gas.Meter{}
+	base := c.schedule.Tx(tx.PayloadBytes)
+	meter.Charge(base)
+	c.gasByContract[tx.To] += base
+	ctx := &Ctx{chain: c, contract: tx.To, meter: meter, origin: tx.From, caller: tx.From}
+	ret, err := ctx.dispatch(tx.To, tx.Method, tx.Args)
+	tx.Ret = ret
+	tx.Err = err
+	tx.GasUsed = meter.Used()
+	c.totalGas += tx.GasUsed
+	c.txCount++
+}
+
+// FinalizedHeight returns the highest block height considered final.
+func (c *Chain) FinalizedHeight() uint64 {
+	if c.height < uint64(c.params.FinalityDepth) {
+		return 0
+	}
+	return c.height - uint64(c.params.FinalityDepth)
+}
+
+// Events returns all events emitted so far. The slice is shared; callers
+// must not modify it.
+func (c *Chain) Events() []Event { return c.events }
+
+// EventsFrom returns events emitted at or after the given block height.
+func (c *Chain) EventsFrom(block uint64) []Event {
+	var out []Event
+	for _, e := range c.events {
+		if e.Block >= block {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Ctx is the execution context handed to contract handlers. All storage,
+// hashing, logging and call operations are metered at the chain's schedule
+// and attributed to the contract whose code is executing.
+type Ctx struct {
+	chain    *Chain
+	contract Address
+	origin   Address
+	caller   Address
+	meter    *gas.Meter
+}
+
+// Contract returns the currently executing contract's address.
+func (x *Ctx) Contract() Address { return x.contract }
+
+// Origin returns the external account that sent the enclosing transaction
+// (tx.origin semantics).
+func (x *Ctx) Origin() Address { return x.origin }
+
+// Caller returns the immediate caller: the sending account for an external
+// call, or the calling contract for an internal one (msg.sender semantics).
+func (x *Ctx) Caller() Address { return x.caller }
+
+// Time returns the current simulated time (block timestamp).
+func (x *Ctx) Time() sim.Time { return x.chain.clock.Now() }
+
+// Block returns the current block height.
+func (x *Ctx) Block() uint64 { return x.chain.height }
+
+// GasUsed reports the gas consumed so far in the enclosing transaction.
+func (x *Ctx) GasUsed() gas.Gas { return x.meter.Used() }
+
+func (x *Ctx) charge(g gas.Gas) {
+	x.meter.Charge(g)
+	x.chain.gasByContract[x.contract] += g
+}
+
+// Store writes value into the contract's storage slot, charging the insert
+// price for fresh slots and the update price for overwrites.
+func (x *Ctx) Store(slot string, value []byte) {
+	st := x.chain.storage[x.contract]
+	if st == nil {
+		st = make(map[string][]byte)
+		x.chain.storage[x.contract] = st
+	}
+	if _, exists := st[slot]; exists {
+		x.charge(x.chain.schedule.StoreUpdate(len(value)))
+	} else {
+		x.charge(x.chain.schedule.StoreInsert(len(value)))
+	}
+	st[slot] = append([]byte(nil), value...)
+}
+
+// Load reads a storage slot, charging the per-word read price. ok reports
+// whether the slot exists.
+func (x *Ctx) Load(slot string) (value []byte, ok bool) {
+	st := x.chain.storage[x.contract]
+	v, ok := st[slot]
+	n := len(v)
+	if n == 0 {
+		n = gas.WordSize // reading an empty slot still touches one word
+	}
+	x.charge(x.chain.schedule.Load(n))
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// DeleteSlot removes a storage slot, charging the clear price.
+func (x *Ctx) DeleteSlot(slot string) {
+	st := x.chain.storage[x.contract]
+	if v, ok := st[slot]; ok {
+		x.charge(x.chain.schedule.StoreClear(len(v)))
+		delete(st, slot)
+	}
+}
+
+// HasSlot reports (and charges for) a storage existence check.
+func (x *Ctx) HasSlot(slot string) bool {
+	_, ok := x.chain.storage[x.contract][slot]
+	x.charge(x.chain.schedule.Load(gas.WordSize))
+	return ok
+}
+
+// ChargeHash meters a hash computation over n bytes (proof verification on
+// chain is priced through this).
+func (x *Ctx) ChargeHash(n int) {
+	x.charge(x.chain.schedule.Hash(n))
+}
+
+// Emit appends an event of the given payload size to the chain's log,
+// charging LOG prices (one topic for the event name).
+func (x *Ctx) Emit(name string, data any, sizeBytes int) {
+	x.charge(x.chain.schedule.Log(1, sizeBytes))
+	x.chain.events = append(x.chain.events, Event{
+		Contract:  x.contract,
+		Name:      name,
+		Data:      data,
+		SizeBytes: sizeBytes,
+		Block:     x.chain.height,
+		Time:      x.chain.clock.Now(),
+	})
+}
+
+// Call performs an internal (message) call into another contract, charging
+// the call overhead and attributing gas spent inside to the callee.
+func (x *Ctx) Call(to Address, method string, args any) (any, error) {
+	x.charge(x.chain.schedule.CallBase)
+	sub := &Ctx{chain: x.chain, contract: to, origin: x.origin, caller: x.contract, meter: x.meter}
+	return sub.dispatch(to, method, args)
+}
+
+func (x *Ctx) dispatch(to Address, method string, args any) (any, error) {
+	m, ok := x.chain.handlers[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownContract, to)
+	}
+	h, ok := m[method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrUnknownMethod, to, method)
+	}
+	x.chain.calls = append(x.chain.calls, CallRecord{
+		To:     to,
+		Method: method,
+		Args:   args,
+		Block:  x.chain.height,
+		Time:   x.chain.clock.Now(),
+	})
+	return h(x, args)
+}
+
+// CallsFrom returns the execution trace starting at the given cursor (an
+// index into the full trace). Callers advance their cursor by the returned
+// length.
+func (c *Chain) CallsFrom(cursor int) []CallRecord {
+	if cursor < 0 || cursor >= len(c.calls) {
+		return nil
+	}
+	return c.calls[cursor:]
+}
+
+// View executes a read-only internal call outside any transaction, with gas
+// charged to a throwaway meter. It is used by tests and examples to inspect
+// contract state without paying (or recording) gas.
+func (c *Chain) View(to Address, method string, args any) (any, error) {
+	ctx := &Ctx{chain: c, contract: to, origin: "viewer", caller: "viewer", meter: &gas.Meter{}}
+	return ctx.dispatch(to, method, args)
+}
+
+// StorageSize returns the number of storage slots held by a contract,
+// un-metered (test/diagnostic helper).
+func (c *Chain) StorageSize(addr Address) int { return len(c.storage[addr]) }

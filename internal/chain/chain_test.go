@@ -1,0 +1,293 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+
+	"grub/internal/gas"
+	"grub/internal/sim"
+)
+
+func newTestChain() *Chain {
+	return New(sim.NewClock(0), Params{BlockInterval: 10, PropagationDelay: 2, FinalityDepth: 5}, gas.DefaultSchedule())
+}
+
+func TestSubmitMineExecute(t *testing.T) {
+	c := newTestChain()
+	called := false
+	c.Register("ctr", "ping", func(ctx *Ctx, args any) (any, error) {
+		called = true
+		return "pong", nil
+	})
+	tx := &Tx{From: "alice", To: "ctr", Method: "ping", PayloadBytes: 0}
+	c.Submit(tx)
+	c.MineBlock()
+	if !called {
+		t.Fatal("handler not invoked")
+	}
+	if !tx.Executed() {
+		t.Fatal("tx not marked executed")
+	}
+	if tx.Ret != "pong" {
+		t.Fatalf("Ret = %v", tx.Ret)
+	}
+	if tx.GasUsed != 21000 {
+		t.Fatalf("GasUsed = %d, want 21000 (empty calldata)", tx.GasUsed)
+	}
+	if c.Height() != 1 {
+		t.Fatalf("Height = %d", c.Height())
+	}
+}
+
+func TestCalldataCost(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "noop", func(ctx *Ctx, args any) (any, error) { return nil, nil })
+	tx := &Tx{To: "ctr", Method: "noop", PayloadBytes: 100} // 4 words
+	c.Submit(tx)
+	c.MineBlock()
+	if want := gas.Gas(21000 + 4*2176); tx.GasUsed != want {
+		t.Fatalf("GasUsed = %d, want %d", tx.GasUsed, want)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	c := New(sim.NewClock(0), Params{BlockInterval: 1, PropagationDelay: 5, FinalityDepth: 1}, gas.DefaultSchedule())
+	c.Register("ctr", "noop", func(ctx *Ctx, args any) (any, error) { return nil, nil })
+	tx := &Tx{To: "ctr", Method: "noop"}
+	c.Submit(tx)
+	// Blocks at t=1..4 must not include the tx (needs Submitted+Pt <= now).
+	for i := 0; i < 4; i++ {
+		if got := c.MineBlock(); len(got) != 0 {
+			t.Fatalf("block at t=%d included %d txs before propagation", c.Clock().Now(), len(got))
+		}
+	}
+	if got := c.MineBlock(); len(got) != 1 {
+		t.Fatalf("block at t=%d included %d txs, want 1", c.Clock().Now(), len(got))
+	}
+	if tx.Included != 5 {
+		t.Fatalf("Included = %d, want 5", tx.Included)
+	}
+}
+
+func TestStorageGasPrices(t *testing.T) {
+	c := newTestChain()
+	sched := c.Schedule()
+	var insertGas, updateGas, loadGas gas.Gas
+	c.Register("ctr", "w", func(ctx *Ctx, args any) (any, error) {
+		before := ctx.GasUsed()
+		ctx.Store("slot", make([]byte, 64))
+		insertGas = ctx.GasUsed() - before
+
+		before = ctx.GasUsed()
+		ctx.Store("slot", make([]byte, 64))
+		updateGas = ctx.GasUsed() - before
+
+		before = ctx.GasUsed()
+		ctx.Load("slot")
+		loadGas = ctx.GasUsed() - before
+		return nil, nil
+	})
+	c.Submit(&Tx{To: "ctr", Method: "w"})
+	c.MineBlock()
+	if insertGas != sched.StoreInsert(64) {
+		t.Errorf("insert gas = %d, want %d", insertGas, sched.StoreInsert(64))
+	}
+	if updateGas != sched.StoreUpdate(64) {
+		t.Errorf("update gas = %d, want %d", updateGas, sched.StoreUpdate(64))
+	}
+	if loadGas != sched.Load(64) {
+		t.Errorf("load gas = %d, want %d", loadGas, sched.Load(64))
+	}
+}
+
+func TestDeleteSlot(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "run", func(ctx *Ctx, args any) (any, error) {
+		ctx.Store("s", []byte("abc"))
+		ctx.DeleteSlot("s")
+		if _, ok := ctx.Load("s"); ok {
+			t.Error("slot still present after DeleteSlot")
+		}
+		ctx.Store("s", []byte("xyz")) // must be charged as insert again
+		return nil, nil
+	})
+	c.Submit(&Tx{To: "ctr", Method: "run"})
+	c.MineBlock()
+	if c.StorageSize("ctr") != 1 {
+		t.Fatalf("StorageSize = %d", c.StorageSize("ctr"))
+	}
+}
+
+func TestInternalCallAttribution(t *testing.T) {
+	c := newTestChain()
+	c.Register("app", "entry", func(ctx *Ctx, args any) (any, error) {
+		ctx.Store("appSlot", make([]byte, 32))
+		return ctx.Call("feed", "get", nil)
+	})
+	c.Register("feed", "get", func(ctx *Ctx, args any) (any, error) {
+		ctx.Store("feedSlot", make([]byte, 32))
+		return "value", nil
+	})
+	tx := &Tx{To: "app", Method: "entry"}
+	c.Submit(tx)
+	c.MineBlock()
+	if tx.Err != nil {
+		t.Fatalf("tx error: %v", tx.Err)
+	}
+	if tx.Ret != "value" {
+		t.Fatalf("Ret = %v", tx.Ret)
+	}
+	sched := c.Schedule()
+	wantFeed := sched.StoreInsert(32)
+	if got := c.GasOf("feed"); got != wantFeed {
+		t.Errorf("GasOf(feed) = %d, want %d", got, wantFeed)
+	}
+	// app gets tx base + its own store + the call overhead.
+	wantApp := sched.Tx(0) + sched.StoreInsert(32) + sched.CallBase
+	if got := c.GasOf("app"); got != wantApp {
+		t.Errorf("GasOf(app) = %d, want %d", got, wantApp)
+	}
+	if tx.GasUsed != wantApp+wantFeed {
+		t.Errorf("GasUsed = %d, want %d", tx.GasUsed, wantApp+wantFeed)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "emit", func(ctx *Ctx, args any) (any, error) {
+		ctx.Emit("request", args, 40)
+		return nil, nil
+	})
+	c.Submit(&Tx{To: "ctr", Method: "emit", Args: "k1"})
+	c.MineBlock()
+	c.Submit(&Tx{To: "ctr", Method: "emit", Args: "k2"})
+	c.MineBlock()
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len(Events) = %d, want 2", len(evs))
+	}
+	if evs[0].Data != "k1" || evs[1].Data != "k2" {
+		t.Fatalf("event data = %v, %v", evs[0].Data, evs[1].Data)
+	}
+	if evs[0].Block != 1 || evs[1].Block != 2 {
+		t.Fatalf("event blocks = %d, %d", evs[0].Block, evs[1].Block)
+	}
+	if got := c.EventsFrom(2); len(got) != 1 || got[0].Data != "k2" {
+		t.Fatalf("EventsFrom(2) = %v", got)
+	}
+}
+
+func TestEventGasCharged(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "emit", func(ctx *Ctx, args any) (any, error) {
+		ctx.Emit("e", nil, 100)
+		return nil, nil
+	})
+	tx := &Tx{To: "ctr", Method: "emit"}
+	c.Submit(tx)
+	c.MineBlock()
+	want := c.Schedule().Tx(0) + c.Schedule().Log(1, 100)
+	if tx.GasUsed != want {
+		t.Fatalf("GasUsed = %d, want %d", tx.GasUsed, want)
+	}
+}
+
+func TestUnknownContractAndMethod(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "m", func(ctx *Ctx, args any) (any, error) { return nil, nil })
+	tx := &Tx{To: "ghost", Method: "m"}
+	c.Submit(tx)
+	c.MineBlock()
+	if !errors.Is(tx.Err, ErrUnknownContract) {
+		t.Fatalf("err = %v, want ErrUnknownContract", tx.Err)
+	}
+	tx2 := &Tx{To: "ctr", Method: "ghost"}
+	c.Submit(tx2)
+	c.MineBlock()
+	if !errors.Is(tx2.Err, ErrUnknownMethod) {
+		t.Fatalf("err = %v, want ErrUnknownMethod", tx2.Err)
+	}
+}
+
+func TestFinalizedHeight(t *testing.T) {
+	c := newTestChain() // F = 5
+	if got := c.FinalizedHeight(); got != 0 {
+		t.Fatalf("FinalizedHeight at genesis = %d", got)
+	}
+	for i := 0; i < 7; i++ {
+		c.MineBlock()
+	}
+	if got := c.FinalizedHeight(); got != 2 {
+		t.Fatalf("FinalizedHeight = %d, want 2", got)
+	}
+}
+
+func TestMineUntilEmpty(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "noop", func(ctx *Ctx, args any) (any, error) { return nil, nil })
+	for i := 0; i < 5; i++ {
+		c.Submit(&Tx{To: "ctr", Method: "noop"})
+	}
+	txs := c.MineUntilEmpty()
+	if len(txs) != 5 {
+		t.Fatalf("executed %d txs, want 5", len(txs))
+	}
+	if c.TxCount() != 5 {
+		t.Fatalf("TxCount = %d", c.TxCount())
+	}
+}
+
+func TestView(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "put", func(ctx *Ctx, args any) (any, error) {
+		ctx.Store("x", []byte("v"))
+		return nil, nil
+	})
+	c.Register("ctr", "get", func(ctx *Ctx, args any) (any, error) {
+		v, _ := ctx.Load("x")
+		return string(v), nil
+	})
+	c.Submit(&Tx{To: "ctr", Method: "put"})
+	c.MineBlock()
+	before := c.TotalGas()
+	got, err := c.View("ctr", "get", nil)
+	if err != nil || got != "v" {
+		t.Fatalf("View = %v, %v", got, err)
+	}
+	if c.TotalGas() != before {
+		t.Fatal("View charged gas to the chain totals")
+	}
+}
+
+func TestGasAccumulation(t *testing.T) {
+	c := newTestChain()
+	c.Register("ctr", "noop", func(ctx *Ctx, args any) (any, error) { return nil, nil })
+	for i := 0; i < 3; i++ {
+		c.Submit(&Tx{To: "ctr", Method: "noop"})
+		c.MineBlock()
+	}
+	if want := gas.Gas(3 * 21000); c.TotalGas() != want {
+		t.Fatalf("TotalGas = %d, want %d", c.TotalGas(), want)
+	}
+	if c.GasOf("ctr") != c.TotalGas() {
+		t.Fatalf("GasOf(ctr) = %d, want %d", c.GasOf("ctr"), c.TotalGas())
+	}
+}
+
+func TestLoadEmptySlotCharges(t *testing.T) {
+	c := newTestChain()
+	var g gas.Gas
+	c.Register("ctr", "r", func(ctx *Ctx, args any) (any, error) {
+		before := ctx.GasUsed()
+		if _, ok := ctx.Load("missing"); ok {
+			t.Error("missing slot reported present")
+		}
+		g = ctx.GasUsed() - before
+		return nil, nil
+	})
+	c.Submit(&Tx{To: "ctr", Method: "r"})
+	c.MineBlock()
+	if g != c.Schedule().Load(gas.WordSize) {
+		t.Fatalf("empty-slot read gas = %d, want %d", g, c.Schedule().Load(gas.WordSize))
+	}
+}

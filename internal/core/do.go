@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"grub/internal/ads"
+	"grub/internal/chain"
+	"grub/internal/merkle"
+	"grub/internal/policy"
+)
+
+// DO is the trusted data owner: GRuB's control plane (workload monitor,
+// decision maker, actuator — §3.2) plus the write path of the data plane
+// (epoch-batched gPuts — §3.3).
+type DO struct {
+	addr    chain.Address
+	manager chain.Address
+	chain   *chain.Chain
+	sp      *SPNode
+	policy  policy.Policy
+
+	// set is the DO-side authenticated mirror from which the signed
+	// digest is computed. The DO produces every record, so holding the
+	// record set locally is natural; the security-relevant artifact is
+	// the root hash it signs on-chain.
+	set *ads.Set
+
+	staged []KV
+	// pendingState records keys whose policy target changed since the
+	// last flush; the actuator materializes them in the next update().
+	pendingState map[string]ads.State
+
+	// lruTick and lastTouch implement the replica-reuse mode used for the
+	// BtcRelay feed (§4.2): a bounded number of on-chain replicas with
+	// least-recently-accessed eviction.
+	maxReplicas int
+	lruTick     uint64
+	lastTouch   map[string]uint64
+
+	noADS bool
+	// lastDigest is the digest most recently sent on-chain; epochs whose
+	// root is unchanged and that carry no replica traffic are skipped
+	// (nothing to update).
+	lastDigest *merkle.Hash
+}
+
+// NewDO builds the data-owner node.
+func NewDO(c *chain.Chain, sp *SPNode, manager chain.Address, addr chain.Address, p policy.Policy, maxReplicas int, noADS bool) *DO {
+	return &DO{
+		addr:         addr,
+		manager:      manager,
+		chain:        c,
+		sp:           sp,
+		policy:       p,
+		set:          ads.NewSet(),
+		pendingState: make(map[string]ads.State),
+		maxReplicas:  maxReplicas,
+		lastTouch:    make(map[string]uint64),
+	}
+}
+
+// Set exposes the DO's authenticated mirror (used by tests and the scan
+// expansion in Feed).
+func (d *DO) Set() *ads.Set { return d.set }
+
+// Policy returns the decision maker in use.
+func (d *DO) Policy() policy.Policy { return d.policy }
+
+// StageWrite buffers one data update for the current epoch and feeds it to
+// the workload monitor.
+func (d *DO) StageWrite(kv KV) {
+	d.staged = append(d.staged, kv)
+	d.observe(policy.Write(kv.Key))
+}
+
+// ObserveRead feeds one read into the workload monitor. The Feed driver
+// calls this as reads appear; SyncFromLog offers the equivalent
+// batch-from-chain-history path.
+func (d *DO) ObserveRead(key string) {
+	d.observe(policy.Read(key))
+}
+
+func (d *DO) observe(op policy.Op) {
+	target := d.policy.Observe(op)
+	cur := ads.NR
+	if rec, ok := d.set.Get(op.Key); ok {
+		cur = rec.State
+	}
+	if target != cur {
+		d.pendingState[op.Key] = target
+	} else {
+		delete(d.pendingState, op.Key)
+	}
+	d.lruTick++
+	d.lastTouch[op.Key] = d.lruTick
+}
+
+// PendingPromotion reports whether key has an un-actuated NR->R decision.
+func (d *DO) PendingPromotion(key string) bool {
+	st, ok := d.pendingState[key]
+	if !ok || st != ads.R {
+		return false
+	}
+	rec, ok := d.set.Get(key)
+	return ok && rec.State == ads.NR
+}
+
+// FlushPromotion eagerly actuates a single key's NR->R transition without
+// waiting for the epoch boundary: the record is relocated in both record
+// sets and an update transaction carrying the fresh digest plus the new
+// replica is submitted. This is what lets GRuB serve the rest of a read
+// burst from contract storage (the within-burst replication visible in the
+// paper's Figures 5 and 9). It returns nil if there is nothing to do.
+func (d *DO) FlushPromotion(key string) (*chain.Tx, error) {
+	if !d.PendingPromotion(key) {
+		return nil, nil
+	}
+	rec, _ := d.set.Get(key)
+	d.set.SetState(key, ads.R)
+	if err := d.sp.ApplySetState(key, ads.R); err != nil {
+		return nil, fmt.Errorf("core: state sync to SP: %w", err)
+	}
+	delete(d.pendingState, key)
+	rec.State = ads.R
+	up := UpdateArgs{Replicas: []ads.Record{rec}}
+	if !d.noADS {
+		root := d.set.Root()
+		up.Digest = root
+		up.HasDigest = true
+		d.lastDigest = &root
+	}
+	tx := &chain.Tx{
+		From:         d.addr,
+		To:           d.manager,
+		Method:       "update",
+		Args:         up,
+		PayloadBytes: up.PayloadSize(),
+	}
+	d.chain.Submit(tx)
+	return tx, nil
+}
+
+// SyncFromLog replays the manager's gGet call history from the chain's call
+// trace starting at cursor, feeding reads to the monitor. It returns the new
+// cursor. This is the paper's §3.2 monitoring path (the DO federates reads
+// from the natively logged contract-call history); the driver uses eager
+// observation for exact interleaving, and tests assert both paths agree.
+func (d *DO) SyncFromLog(cursor int) int {
+	calls := d.chain.CallsFrom(cursor)
+	for _, cr := range calls {
+		if cr.To != d.manager || cr.Method != "gGet" {
+			continue
+		}
+		if a, ok := cr.Args.(GetArgs); ok {
+			d.ObserveRead(a.Key)
+		}
+	}
+	return cursor + len(calls)
+}
+
+// FlushEpoch ends the current epoch: it applies staged writes to the DO and
+// SP record sets, materializes pending replication-state transitions,
+// signs the new digest and submits the update transaction (gPuts). It
+// returns the transaction, or nil if the epoch carried nothing.
+func (d *DO) FlushEpoch() (*chain.Tx, error) {
+	var up UpdateArgs
+
+	// Data updates: apply to both sets under each key's target state.
+	for _, kv := range d.staged {
+		st := d.policy.Target(kv.Key)
+		rec := ads.Record{Key: kv.Key, State: st, Value: kv.Value}
+		prev, existed := d.set.Put(rec)
+		if err := d.sp.ApplyPut(rec); err != nil {
+			return nil, fmt.Errorf("core: gPuts to SP: %w", err)
+		}
+		delete(d.pendingState, kv.Key) // the write carries the state
+		if st == ads.R {
+			up.Replicas = append(up.Replicas, rec)
+		} else if existed && prev == ads.R {
+			// The write demoted a replicated record: the stale
+			// on-chain replica must be evicted or gGet would keep
+			// serving the old value.
+			up.Evictions = append(up.Evictions, kv.Key)
+		}
+	}
+	// State transitions not carried by a data write.
+	for key, st := range d.pendingState {
+		rec, ok := d.set.Get(key)
+		if !ok {
+			continue // decision for a key never fed
+		}
+		if rec.State == st {
+			continue
+		}
+		d.set.SetState(key, st)
+		if err := d.sp.ApplySetState(key, st); err != nil {
+			return nil, fmt.Errorf("core: state sync to SP: %w", err)
+		}
+		if st == ads.R {
+			rec.State = ads.R
+			up.Replicas = append(up.Replicas, rec)
+		} else {
+			up.Evictions = append(up.Evictions, key)
+		}
+	}
+	d.staged = d.staged[:0]
+	d.pendingState = make(map[string]ads.State)
+
+	// Replica-reuse mode: enforce the on-chain replica budget by evicting
+	// the least recently accessed replicas (BtcRelay configuration).
+	if d.maxReplicas > 0 {
+		d.enforceReplicaBudget(&up)
+	}
+
+	if !d.noADS {
+		root := d.set.Root()
+		if d.lastDigest != nil && root == *d.lastDigest &&
+			len(up.Replicas) == 0 && len(up.Evictions) == 0 {
+			return nil, nil // nothing changed this epoch
+		}
+		up.Digest = root
+		up.HasDigest = true
+		d.lastDigest = &root
+	}
+	if !up.HasDigest && len(up.Replicas) == 0 && len(up.Evictions) == 0 {
+		return nil, nil
+	}
+	tx := &chain.Tx{
+		From:         d.addr,
+		To:           d.manager,
+		Method:       "update",
+		Args:         up,
+		PayloadBytes: up.PayloadSize(),
+	}
+	d.chain.Submit(tx)
+	return tx, nil
+}
+
+// enforceReplicaBudget demotes the least-recently-touched R records until
+// the replica count fits the budget.
+func (d *DO) enforceReplicaBudget(up *UpdateArgs) {
+	var replicated []string
+	for _, rec := range d.set.Records() {
+		if rec.State == ads.R {
+			replicated = append(replicated, rec.Key)
+		}
+	}
+	excess := len(replicated) - d.maxReplicas
+	for ; excess > 0; excess-- {
+		victim := ""
+		var oldest uint64 = ^uint64(0)
+		for _, k := range replicated {
+			if t := d.lastTouch[k]; t < oldest {
+				oldest, victim = t, k
+			}
+		}
+		if victim == "" {
+			return
+		}
+		d.set.SetState(victim, ads.NR)
+		if err := d.sp.ApplySetState(victim, ads.NR); err != nil {
+			return
+		}
+		up.Evictions = append(up.Evictions, victim)
+		for i, k := range replicated {
+			if k == victim {
+				replicated = append(replicated[:i], replicated[i+1:]...)
+				break
+			}
+		}
+	}
+}

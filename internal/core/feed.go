@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"grub/internal/ads"
+	"grub/internal/chain"
+	"grub/internal/gas"
+	"grub/internal/policy"
+	"grub/internal/workload"
+)
+
+// Options configures a Feed.
+type Options struct {
+	// Manager, DOAddr, SPAddr name the three parties on the chain.
+	// Defaults: "grub-manager", "do", "sp".
+	Manager chain.Address
+	DOAddr  chain.Address
+	SPAddr  chain.Address
+	// EpochOps is the number of workload operations per epoch: the DO
+	// batches writes and actuates decisions at epoch boundaries. Figure 5
+	// uses 32, Figure 6 uses 4. Default 32.
+	EpochOps int
+	// MaxReplicas bounds the number of on-chain replicas (0 = unbounded);
+	// the BtcRelay feed (§4.2) uses a budget with LRU eviction.
+	MaxReplicas int
+	// NoADS disables digest maintenance for the pure on-chain baseline
+	// BL2, whose cost model has no off-chain component (§2.3).
+	NoADS bool
+	// Trace selects the on-chain-trace dynamic baselines of Figure 7.
+	Trace TraceMode
+	// DeferPromotions disables eager NR->R actuation. By default a
+	// promotion decided during a read burst is materialized immediately
+	// (a transition-only update transaction), so the remainder of the
+	// burst reads from contract storage; with DeferPromotions the
+	// transition waits for the epoch boundary.
+	DeferPromotions bool
+	// SPStore optionally supplies a persistent SP store; by default an
+	// in-memory store is used (Gas results are identical).
+	SPStore *ads.SP
+}
+
+func (o Options) withDefaults() Options {
+	if o.Manager == "" {
+		o.Manager = "grub-manager"
+	}
+	if o.DOAddr == "" {
+		o.DOAddr = "do"
+	}
+	if o.SPAddr == "" {
+		o.SPAddr = "sp"
+	}
+	if o.EpochOps <= 0 {
+		o.EpochOps = 32
+	}
+	if o.SPStore == nil {
+		o.SPStore = ads.NewMemSP()
+	}
+	return o
+}
+
+// readerAddr is the generic data-user contract the driver reads through.
+const readerAddr chain.Address = "du-reader"
+
+// Feed assembles a complete GRuB deployment on a simulated chain and drives
+// workloads through it. It is the object every experiment manipulates.
+type Feed struct {
+	Chain   *chain.Chain
+	Manager *StorageManager
+	DO      *DO
+	SP      *SPNode
+
+	opts Options
+
+	opsInEpoch  int
+	promoCursor int
+	delivered   int
+	notFound    int
+	// LastValue records the most recent callback payload per key
+	// (DU-side application state, held in memory).
+	LastValue map[string][]byte
+}
+
+// NewFeed wires a feed with the given decision policy onto c.
+func NewFeed(c *chain.Chain, p policy.Policy, opts Options) *Feed {
+	opts = opts.withDefaults()
+	mgr := NewStorageManager(c, opts.Manager, opts.DOAddr, opts.Trace)
+	sp := NewSPNode(c, opts.SPStore, opts.Manager, opts.SPAddr)
+	do := NewDO(c, sp, opts.Manager, opts.DOAddr, p, opts.MaxReplicas, opts.NoADS)
+	f := &Feed{
+		Chain:     c,
+		Manager:   mgr,
+		DO:        do,
+		SP:        sp,
+		opts:      opts,
+		LastValue: make(map[string][]byte),
+	}
+	c.Register(readerAddr, "read", func(ctx *chain.Ctx, args any) (any, error) {
+		key, ok := args.(string)
+		if !ok {
+			return nil, fmt.Errorf("core: reader args %T", args)
+		}
+		return ctx.Call(opts.Manager, "gGet", GetArgs{
+			Key:      key,
+			Callback: Callback{Contract: readerAddr, Method: "onData"},
+		})
+	})
+	c.Register(readerAddr, "onData", func(ctx *chain.Ctx, args any) (any, error) {
+		a, ok := args.(CallbackArgs)
+		if !ok {
+			return nil, fmt.Errorf("core: onData args %T", args)
+		}
+		if a.Found {
+			f.delivered++
+			f.LastValue[a.Key] = a.Value
+		} else {
+			f.notFound++
+		}
+		return nil, nil
+	})
+	// Genesis: put the (empty-set) digest on-chain so the very first
+	// deliver can verify against something. A pure-BL2 feed maintains no
+	// digest and skips this.
+	if !opts.NoADS {
+		f.mustFlush()
+	}
+	return f
+}
+
+// Delivered returns how many reads completed with a value.
+func (f *Feed) Delivered() int { return f.delivered }
+
+// NotFound returns how many reads completed with a proven absence.
+func (f *Feed) NotFound() int { return f.notFound }
+
+// FeedGas returns the cumulative feed-layer Gas: everything attributed to
+// the storage-manager contract (update and deliver transactions, storage,
+// verification, events). Application-layer Gas lives on the DU contracts.
+func (f *Feed) FeedGas() gas.Gas { return f.Chain.GasOf(f.opts.Manager) }
+
+// Write stages one data update (part of the next gPuts batch).
+func (f *Feed) Write(kv KV) {
+	f.DO.StageWrite(kv)
+	f.tick()
+}
+
+// Read drives one read through a DU transaction, mines it, lets the SP
+// watchdog answer any request event, and mines the deliver.
+func (f *Feed) Read(key string) error {
+	return f.ReadFrom(readerAddr, "read", key, len(key)+4)
+}
+
+// ReadFrom drives a read through an arbitrary DU contract entry point (used
+// by the case-study applications).
+func (f *Feed) ReadFrom(du chain.Address, method string, args any, payload int) error {
+	tx := &chain.Tx{From: "user", To: du, Method: method, Args: args, PayloadBytes: payload}
+	f.Chain.Submit(tx)
+	f.Chain.MineUntilEmpty()
+	if tx.Err != nil {
+		return fmt.Errorf("core: read tx: %w", tx.Err)
+	}
+	if err := f.serveRequests(); err != nil {
+		return err
+	}
+	if err := f.monitorReads(); err != nil {
+		return err
+	}
+	f.tick()
+	return nil
+}
+
+// monitorReads is the DO's workload monitor: it tails the chain's call
+// trace for gGet invocations (whoever the calling DU was), feeds them to the
+// decision policy in execution order, and — unless promotions are deferred —
+// eagerly materializes any NR->R decision so the rest of a read burst is
+// served from contract storage.
+func (f *Feed) monitorReads() error {
+	calls := f.Chain.CallsFrom(f.promoCursor)
+	f.promoCursor += len(calls)
+	for _, cr := range calls {
+		if cr.To != f.opts.Manager || cr.Method != "gGet" {
+			continue
+		}
+		a, ok := cr.Args.(GetArgs)
+		if !ok {
+			continue
+		}
+		f.DO.ObserveRead(a.Key)
+		if f.opts.DeferPromotions || !f.DO.PendingPromotion(a.Key) {
+			continue
+		}
+		tx, err := f.DO.FlushPromotion(a.Key)
+		if err != nil {
+			return err
+		}
+		if tx != nil {
+			f.Chain.MineUntilEmpty()
+			if tx.Err != nil {
+				return fmt.Errorf("core: promotion tx: %w", tx.Err)
+			}
+		}
+	}
+	return nil
+}
+
+// serveRequests lets the watchdog answer pending requests and mines the
+// resulting deliver transactions.
+func (f *Feed) serveRequests() error {
+	n, err := f.SP.Watch()
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		for _, tx := range f.Chain.MineUntilEmpty() {
+			if tx.Err != nil {
+				return fmt.Errorf("core: deliver tx: %w", tx.Err)
+			}
+		}
+	}
+	return nil
+}
+
+// tick advances the epoch op counter and flushes at boundaries.
+func (f *Feed) tick() {
+	f.opsInEpoch++
+	if f.opsInEpoch >= f.opts.EpochOps {
+		f.mustFlush()
+	}
+}
+
+// FlushEpoch forces an epoch boundary (exposed for drivers that align
+// epochs with workload phases).
+func (f *Feed) FlushEpoch() { f.mustFlush() }
+
+func (f *Feed) mustFlush() {
+	f.opsInEpoch = 0
+	tx, err := f.DO.FlushEpoch()
+	if err != nil {
+		// An epoch flush failing means the simulation itself is broken
+		// (SP unreachable in-process): fail loudly.
+		panic(fmt.Sprintf("core: epoch flush: %v", err))
+	}
+	if tx == nil {
+		return
+	}
+	f.Chain.MineUntilEmpty()
+	if tx.Err != nil {
+		panic(fmt.Sprintf("core: update tx rejected: %v", tx.Err))
+	}
+}
+
+// Process drives a whole workload trace through the feed, flushing epochs
+// every EpochOps operations. Scans expand to point reads over the next
+// ScanLen keys known to the DO's mirror.
+func (f *Feed) Process(trace []workload.Op) error {
+	for _, op := range trace {
+		switch {
+		case op.Write:
+			f.Write(KV{Key: op.Key, Value: op.Value})
+		case op.ScanLen > 0:
+			for _, k := range f.scanKeys(op.Key, op.ScanLen) {
+				if err := f.Read(k); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := f.Read(op.Key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EpochStat is one epoch's measurement in a Gas time series.
+type EpochStat struct {
+	Epoch   int
+	Ops     int
+	FeedGas gas.Gas
+}
+
+// GasPerOp returns the epoch's average feed Gas per operation.
+func (e EpochStat) GasPerOp() float64 {
+	if e.Ops == 0 {
+		return 0
+	}
+	return float64(e.FeedGas) / float64(e.Ops)
+}
+
+// ProcessSeries drives the trace and returns one EpochStat per epoch — the
+// time-series view plotted in Figures 5, 6, 9, 13 and 15.
+func (f *Feed) ProcessSeries(trace []workload.Op) ([]EpochStat, error) {
+	var series []EpochStat
+	epochOps := 0
+	lastGas := f.FeedGas()
+	flushStat := func() {
+		if epochOps == 0 {
+			return
+		}
+		g := f.FeedGas()
+		series = append(series, EpochStat{Epoch: len(series), Ops: epochOps, FeedGas: g - lastGas})
+		lastGas = g
+		epochOps = 0
+	}
+	for _, op := range trace {
+		switch {
+		case op.Write:
+			f.Write(KV{Key: op.Key, Value: op.Value})
+			epochOps++
+		case op.ScanLen > 0:
+			for _, k := range f.scanKeys(op.Key, op.ScanLen) {
+				if err := f.Read(k); err != nil {
+					return nil, err
+				}
+			}
+			epochOps++
+		default:
+			if err := f.Read(op.Key); err != nil {
+				return nil, err
+			}
+			epochOps++
+		}
+		if epochOps >= f.opts.EpochOps {
+			flushStat()
+		}
+	}
+	flushStat()
+	return series, nil
+}
+
+// scanKeys resolves a scan into up to n existing keys starting at start,
+// using the DO's mirror for key ordering (scans expand to point reads at the
+// feed layer; see DESIGN.md).
+func (f *Feed) scanKeys(start string, n int) []string {
+	return f.DO.Set().NextKeys(start, n)
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"grub/internal/ads"
+	"grub/internal/chain"
+	"grub/internal/gas"
+	"grub/internal/policy"
+	"grub/internal/sim"
+	"grub/internal/workload"
+)
+
+func fastChain() *chain.Chain {
+	return chain.New(sim.NewClock(0), chain.Params{BlockInterval: 1, PropagationDelay: 0, FinalityDepth: 2}, gas.DefaultSchedule())
+}
+
+func newTestFeed(p policy.Policy, opts Options) *Feed {
+	return NewFeed(fastChain(), p, opts)
+}
+
+func TestWriteThenReadRoundTrip(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "ether", Value: []byte("150USD")})
+	if err := f.Read("ether"); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if f.Delivered() != 1 {
+		t.Fatalf("Delivered = %d, want 1", f.Delivered())
+	}
+	if !bytes.Equal(f.LastValue["ether"], []byte("150USD")) {
+		t.Fatalf("LastValue = %q", f.LastValue["ether"])
+	}
+}
+
+func TestNeverPolicyReadsGoThroughDeliver(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "k", Value: []byte("v")})
+	gasBefore := f.FeedGas()
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	readGas := f.FeedGas() - gasBefore
+	// An NR read must cost at least a deliver transaction (21000+).
+	if readGas < 21000 {
+		t.Fatalf("NR read cost %d gas, expected a deliver tx (>21000)", readGas)
+	}
+	// The manager must hold no replica.
+	if f.Chain.StorageSize("grub-manager") != 1 { // digest only
+		t.Fatalf("manager slots = %d, want 1 (digest only)", f.Chain.StorageSize("grub-manager"))
+	}
+}
+
+func TestAlwaysPolicyReadsAreOnChain(t *testing.T) {
+	f := newTestFeed(policy.Always{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "k", Value: []byte("v")})
+	gasBefore := f.FeedGas()
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	readGas := f.FeedGas() - gasBefore
+	// An R read is an sload inside an internal call: far below a tx.
+	if readGas >= 21000 {
+		t.Fatalf("R read cost %d gas; replica not used", readGas)
+	}
+	if f.Delivered() != 1 {
+		t.Fatalf("Delivered = %d", f.Delivered())
+	}
+}
+
+func TestMemorylessConvergesToReplication(t *testing.T) {
+	f := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 4})
+	f.Write(KV{Key: "k", Value: []byte("v1")})
+	f.FlushEpoch()
+	// Two reads promote the record (K=2); the transition is actuated at
+	// the next epoch flush.
+	for i := 0; i < 2; i++ {
+		if err := f.Read("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.FlushEpoch()
+	rec, ok := f.DO.Set().Get("k")
+	if !ok || rec.State != ads.R {
+		t.Fatalf("record state = %+v, want R after K consecutive reads", rec)
+	}
+	// Now the read must be served on-chain.
+	before := f.FeedGas()
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	if g := f.FeedGas() - before; g >= 21000 {
+		t.Fatalf("read after promotion cost %d, want on-chain read", g)
+	}
+	// A write demotes (memoryless resets on write): next epoch evicts.
+	f.Write(KV{Key: "k", Value: []byte("v2")})
+	f.FlushEpoch()
+	rec, _ = f.DO.Set().Get("k")
+	if rec.State != ads.NR {
+		t.Fatalf("state after write = %v, want NR", rec.State)
+	}
+}
+
+func TestDemotionEvictsStaleReplica(t *testing.T) {
+	// Regression: a write that demotes a replicated record must evict the
+	// on-chain replica, or gGet keeps serving the stale value forever.
+	f := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 4})
+	f.Write(KV{Key: "k", Value: []byte("v1")})
+	f.FlushEpoch()
+	for i := 0; i < 2; i++ {
+		if err := f.Read("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.FlushEpoch() // record replicated as v1
+	rec, _ := f.DO.Set().Get("k")
+	if rec.State != ads.R {
+		t.Fatalf("setup: state = %v, want R", rec.State)
+	}
+	// The write demotes the record; the flush must evict the replica.
+	f.Write(KV{Key: "k", Value: []byte("v2")})
+	f.FlushEpoch()
+	if got := f.Chain.StorageSize("grub-manager"); got != 1 { // digest only
+		t.Fatalf("manager slots = %d, want 1 (stale replica not evicted)", got)
+	}
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.LastValue["k"], []byte("v2")) {
+		t.Fatalf("read %q after demotion, want v2 (stale replica served)", f.LastValue["k"])
+	}
+}
+
+func TestUpdatedValueVisibleAfterEpoch(t *testing.T) {
+	f := newTestFeed(policy.NewMemoryless(1), Options{EpochOps: 1})
+	for i := 0; i < 5; i++ {
+		f.Write(KV{Key: "k", Value: []byte(fmt.Sprintf("v%d", i))})
+	}
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.LastValue["k"], []byte("v4")) {
+		t.Fatalf("read %q, want v4", f.LastValue["k"])
+	}
+}
+
+func TestReadMissingKeyProvenAbsent(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "exists", Value: []byte("v")})
+	if err := f.Read("missing"); err != nil {
+		t.Fatal(err)
+	}
+	if f.NotFound() != 1 {
+		t.Fatalf("NotFound = %d, want 1 (absence proof path)", f.NotFound())
+	}
+	if f.Delivered() != 0 {
+		t.Fatalf("Delivered = %d, want 0", f.Delivered())
+	}
+}
+
+func TestDigestTracksDORoot(t *testing.T) {
+	f := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 2})
+	trace := workload.Ratio("k", 1, 3, 6, 32, 7)
+	if err := f.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushEpoch()
+	// On-chain digest equals the DO's root equals the SP's root.
+	raw, _ := f.Chain.View("grub-manager", "gGet", GetArgs{Key: "definitely-missing"})
+	_ = raw
+	doRoot := f.DO.Set().Root()
+	spRoot := f.SP.Store().Set().Root()
+	if doRoot != spRoot {
+		t.Fatal("DO and SP roots diverged")
+	}
+}
+
+func TestForgedValueRejected(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "k", Value: []byte("honest")})
+	// The SP forges the delivered value; the manager must reject it and
+	// the callback must never fire.
+	f.SP.Tamper = func(d *DeliverArgs) { d.Record.Value = []byte("forged!") }
+	err := f.Read("k")
+	if err == nil {
+		t.Fatal("forged deliver accepted")
+	}
+	if !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+	if f.Delivered() != 0 {
+		t.Fatal("callback fired on forged data")
+	}
+}
+
+func TestReplayedStaleValueRejected(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "k", Value: []byte("old")})
+	// Capture the old record+proof.
+	var stale *DeliverArgs
+	f.SP.Tamper = func(d *DeliverArgs) {
+		cp := *d
+		stale = &cp
+	}
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the feed: new value, new digest.
+	f.Write(KV{Key: "k", Value: []byte("new")})
+	// Replay the stale deliver: must fail against the fresh digest.
+	f.SP.Tamper = func(d *DeliverArgs) { *d = *stale }
+	err := f.Read("k")
+	if !errors.Is(err, ErrBadProof) {
+		t.Fatalf("replayed stale deliver: err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestForgedStateBitRejected(t *testing.T) {
+	// A malicious SP flipping the NR state bit to R (to trick the manager
+	// into wasting replication Gas) must be caught: the state is part of
+	// the authenticated leaf.
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "k", Value: []byte("v")})
+	f.SP.Tamper = func(d *DeliverArgs) { d.Record.State = ads.R }
+	if err := f.Read("k"); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("state-forging deliver: err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestOmittingSPStallsButDoesNotCorrupt(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "k", Value: []byte("v")})
+	f.SP.Drop = func(RequestEvent) bool { return true }
+	if err := f.Read("k"); err != nil {
+		t.Fatalf("dropped request errored the read path: %v", err)
+	}
+	if f.Delivered() != 0 {
+		t.Fatal("omitted request still delivered")
+	}
+	// Availability is out of scope (paper trust model); once the SP
+	// relents the pending request is answered.
+	f.SP.Drop = nil
+	if _, err := f.SP.Watch(); err != nil {
+		t.Fatal(err)
+	}
+	f.Chain.MineUntilEmpty()
+	if f.Delivered() != 1 {
+		t.Fatalf("Delivered = %d after SP recovery", f.Delivered())
+	}
+}
+
+func TestUpdateFromNonOwnerRejected(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 1})
+	f.Write(KV{Key: "k", Value: []byte("v")})
+	tx := &chain.Tx{
+		From:   "mallory",
+		To:     "grub-manager",
+		Method: "update",
+		Args:   UpdateArgs{HasDigest: true},
+	}
+	f.Chain.Submit(tx)
+	f.Chain.MineUntilEmpty()
+	if !errors.Is(tx.Err, ErrUnauthorized) {
+		t.Fatalf("foreign update: err = %v, want ErrUnauthorized", tx.Err)
+	}
+}
+
+func TestBL2CheaperThanBL1OnReadHeavy(t *testing.T) {
+	trace := workload.Ratio("k", 1, 16, 8, 32, 3)
+	bl1 := newTestFeed(policy.Never{}, Options{EpochOps: 32})
+	bl2 := newTestFeed(policy.Always{}, Options{EpochOps: 1, NoADS: true})
+	if err := bl1.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl2.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	if bl2.FeedGas() >= bl1.FeedGas() {
+		t.Fatalf("read-heavy: BL2 (%d) not cheaper than BL1 (%d)", bl2.FeedGas(), bl1.FeedGas())
+	}
+}
+
+func TestBL1CheaperThanBL2OnWriteOnly(t *testing.T) {
+	trace := workload.Ratio("k", 1, 0, 64, 32, 3)
+	bl1 := newTestFeed(policy.Never{}, Options{EpochOps: 32})
+	bl2 := newTestFeed(policy.Always{}, Options{EpochOps: 1, NoADS: true})
+	if err := bl1.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl2.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	// §2.3: write-only favours BL1 by a large factor.
+	if f := float64(bl2.FeedGas()) / float64(bl1.FeedGas()); f < 5 {
+		t.Fatalf("write-only: BL2/BL1 gas ratio = %.1f, want substantial (>5)", f)
+	}
+}
+
+func TestGRuBBeatsWorstStaticBaseline(t *testing.T) {
+	// Under a phase-changing workload GRuB must beat at least the worse
+	// of the two static baselines in each phase mix (the paper's headline
+	// claim evaluated end-to-end in the benches; here a smoke version).
+	var trace []workload.Op
+	trace = append(trace, workload.Ratio("k", 1, 0, 32, 32, 3)...) // write-only phase
+	trace = append(trace, workload.Ratio("k", 1, 16, 8, 32, 4)...) // read-heavy phase
+	run := func(p policy.Policy, opts Options) gas.Gas {
+		f := newTestFeed(p, opts)
+		if err := f.Process(trace); err != nil {
+			t.Fatal(err)
+		}
+		return f.FeedGas()
+	}
+	grub := run(policy.NewMemoryless(2), Options{EpochOps: 32})
+	bl1 := run(policy.Never{}, Options{EpochOps: 32})
+	bl2 := run(policy.Always{}, Options{EpochOps: 1, NoADS: true})
+	worst := bl1
+	if bl2 > worst {
+		worst = bl2
+	}
+	if grub >= worst {
+		t.Fatalf("GRuB (%d) no better than worst static baseline (bl1=%d bl2=%d)", grub, bl1, bl2)
+	}
+}
+
+func TestReplicaBudgetLRUEviction(t *testing.T) {
+	f := newTestFeed(policy.Always{}, Options{EpochOps: 1, MaxReplicas: 2})
+	for i := 0; i < 5; i++ {
+		f.Write(KV{Key: fmt.Sprintf("k%d", i), Value: []byte("v")})
+	}
+	// Only 2 replicas may remain on-chain (plus the digest slot).
+	replicas := 0
+	for _, rec := range f.DO.Set().Records() {
+		if rec.State == ads.R {
+			replicas++
+		}
+	}
+	if replicas != 2 {
+		t.Fatalf("replicas = %d, want budget 2", replicas)
+	}
+	if got := f.Chain.StorageSize("grub-manager"); got != 3 { // digest + 2 replicas
+		t.Fatalf("manager slots = %d, want 3", got)
+	}
+	// The survivors must be the most recently touched (k3, k4).
+	for _, k := range []string{"k3", "k4"} {
+		rec, _ := f.DO.Set().Get(k)
+		if rec.State != ads.R {
+			t.Fatalf("%s evicted; LRU should keep most recent", k)
+		}
+	}
+}
+
+func TestSyncFromLogMatchesEagerObservation(t *testing.T) {
+	// Run the same workload through two feeds: one with eager read
+	// observation (the driver default), one observing only via the call
+	// log. The resulting replication states must agree.
+	trace := workload.Ratio("k", 1, 3, 10, 32, 5)
+
+	eager := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 4})
+	if err := eager.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	eager.FlushEpoch()
+
+	lagged := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 1 << 30}) // never auto-flush
+	cursor := 0
+	ops := 0
+	for _, op := range trace {
+		if op.Write {
+			lagged.DO.StageWrite(KV{Key: op.Key, Value: op.Value})
+		} else {
+			// Read without eager observation: submit the DU tx
+			// directly.
+			tx := &chain.Tx{From: "user", To: readerAddr, Method: "read", Args: op.Key, PayloadBytes: 8}
+			lagged.Chain.Submit(tx)
+			lagged.Chain.MineUntilEmpty()
+			if err := lagged.serveRequests(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ops++
+		if ops%4 == 0 {
+			cursor = lagged.DO.SyncFromLog(cursor)
+			if _, err := lagged.DO.FlushEpoch(); err != nil {
+				t.Fatal(err)
+			}
+			lagged.Chain.MineUntilEmpty()
+		}
+	}
+	cursor = lagged.DO.SyncFromLog(cursor)
+	if _, err := lagged.DO.FlushEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	lagged.Chain.MineUntilEmpty()
+
+	a, _ := eager.DO.Set().Get("k")
+	b, _ := lagged.DO.Set().Get("k")
+	if a.State != b.State {
+		t.Fatalf("eager state %v != log-based state %v", a.State, b.State)
+	}
+}
+
+func TestOnChainTraceBaselineCostsMore(t *testing.T) {
+	trace := workload.Ratio("k", 1, 4, 12, 32, 9)
+	off := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 8})
+	on := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 8, Trace: TraceReadsWrites})
+	if err := off.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Process(trace); err != nil {
+		t.Fatal(err)
+	}
+	if on.FeedGas() <= off.FeedGas() {
+		t.Fatalf("on-chain trace (%d) not costlier than off-chain control plane (%d)", on.FeedGas(), off.FeedGas())
+	}
+}
+
+func TestProcessSeriesAccounting(t *testing.T) {
+	f := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 8})
+	setupGas := f.FeedGas() // genesis digest
+	trace := workload.Ratio("k", 1, 3, 8, 32, 2)
+	series, err := f.ProcessSeries(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(trace)/8 {
+		t.Fatalf("series length = %d, want %d", len(series), len(trace)/8)
+	}
+	var sum gas.Gas
+	for _, s := range series {
+		if s.Ops != 8 {
+			t.Fatalf("epoch ops = %d", s.Ops)
+		}
+		if s.GasPerOp() <= 0 {
+			t.Fatalf("epoch %d gas/op = %v", s.Epoch, s.GasPerOp())
+		}
+		sum += s.FeedGas
+	}
+	if sum+setupGas != f.FeedGas() {
+		t.Fatalf("series (%d) + setup (%d) != FeedGas (%d)", sum, setupGas, f.FeedGas())
+	}
+}
+
+func TestScanExpandsToPointReads(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 4})
+	for i := 0; i < 6; i++ {
+		f.Write(KV{Key: fmt.Sprintf("k%d", i), Value: []byte("v")})
+	}
+	f.FlushEpoch()
+	if err := f.Process([]workload.Op{workload.Scan("k2", 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Delivered() != 3 {
+		t.Fatalf("scan delivered %d records, want 3", f.Delivered())
+	}
+	for _, k := range []string{"k2", "k3", "k4"} {
+		if _, ok := f.LastValue[k]; !ok {
+			t.Fatalf("scan missed %s", k)
+		}
+	}
+}
+
+func TestFeedGasAttributionExcludesApp(t *testing.T) {
+	f := newTestFeed(policy.Always{}, Options{EpochOps: 1, NoADS: true})
+	f.Write(KV{Key: "k", Value: []byte("v")})
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	feed := f.FeedGas()
+	app := f.Chain.GasOf(readerAddr)
+	total := f.Chain.TotalGas()
+	if feed+app != total {
+		t.Fatalf("attribution leak: feed %d + app %d != total %d", feed, app, total)
+	}
+	// The DU read tx base (21000) must be on the app side.
+	if app < 21000 {
+		t.Fatalf("app gas = %d, read tx base missing", app)
+	}
+}

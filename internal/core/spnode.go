@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"grub/internal/ads"
+	"grub/internal/chain"
+)
+
+// SPNode is the storage provider: the authenticated record store plus the
+// watchdog daemon of the read path (paper §3.3). The watchdog spins on the
+// chain's event log; every request event it finds is answered with a deliver
+// transaction carrying the record and its Merkle proof (or an absence
+// proof).
+//
+// The SP is untrusted in the protocol — the manager contract verifies every
+// deliver — but the simulation drives an honest SP by default. Adversarial
+// behaviours are injected by the security tests through the Tamper hook.
+type SPNode struct {
+	addr    chain.Address
+	manager chain.Address
+	chain   *chain.Chain
+	store   *ads.SP
+
+	// eventCursor indexes into the chain's event log.
+	eventCursor int
+	served      map[uint64]bool
+	// pending holds requests seen but not yet answered (e.g. suppressed
+	// by Drop); they are retried on every Watch.
+	pending []RequestEvent
+
+	// Tamper, when non-nil, may rewrite a deliver before submission
+	// (security tests model a forging/replaying SP with it).
+	Tamper func(*DeliverArgs)
+	// Drop, when non-nil, suppresses responses for chosen request IDs
+	// (models an omitting SP).
+	Drop func(RequestEvent) bool
+}
+
+// NewSPNode builds a storage provider node answering for the given manager.
+func NewSPNode(c *chain.Chain, store *ads.SP, manager, addr chain.Address) *SPNode {
+	return &SPNode{
+		addr:    addr,
+		manager: manager,
+		chain:   c,
+		store:   store,
+		served:  make(map[uint64]bool),
+	}
+}
+
+// Store exposes the underlying authenticated store.
+func (s *SPNode) Store() *ads.SP { return s.store }
+
+// ApplyPut applies a DO-sent record write (the off-chain half of gPuts).
+func (s *SPNode) ApplyPut(rec ads.Record) error { return s.store.Put(rec) }
+
+// ApplySetState applies a DO-sent replication-state transition.
+func (s *SPNode) ApplySetState(key string, st ads.State) error {
+	return s.store.SetState(key, st)
+}
+
+// Watch scans new chain events for requests and submits deliver
+// transactions. Requests suppressed by Drop stay pending and are retried on
+// the next Watch. It returns the number of delivers submitted; the caller
+// mines afterwards.
+func (s *SPNode) Watch() (int, error) {
+	evs := s.chain.Events()
+	for ; s.eventCursor < len(evs); s.eventCursor++ {
+		ev := evs[s.eventCursor]
+		if ev.Contract != s.manager || ev.Name != "request" {
+			continue
+		}
+		if req, ok := ev.Data.(RequestEvent); ok && !s.served[req.ID] {
+			s.pending = append(s.pending, req)
+		}
+	}
+	submitted := 0
+	var still []RequestEvent
+	var firstErr error
+	for _, req := range s.pending {
+		if firstErr != nil || (s.Drop != nil && s.Drop(req)) {
+			still = append(still, req)
+			continue
+		}
+		if err := s.answer(req); err != nil {
+			firstErr = err
+			still = append(still, req)
+			continue
+		}
+		s.served[req.ID] = true
+		submitted++
+	}
+	s.pending = still
+	return submitted, firstErr
+}
+
+func (s *SPNode) answer(req RequestEvent) error {
+	set := s.store.Set()
+	if _, ok := set.Get(req.Key); !ok {
+		proof, err := set.ProveAbsent(req.Key)
+		if err != nil {
+			return fmt.Errorf("core: absence proof for %q: %w", req.Key, err)
+		}
+		args := DeliverAbsentArgs{ID: req.ID, Key: req.Key, Proof: proof, Callback: req.Callback}
+		s.chain.Submit(&chain.Tx{
+			From:         s.addr,
+			To:           s.manager,
+			Method:       "deliverAbsent",
+			Args:         args,
+			PayloadBytes: 8 + len(req.Key) + proof.Size(),
+		})
+		return nil
+	}
+	rec, proof, err := set.ProveKey(req.Key)
+	if err != nil {
+		return fmt.Errorf("core: proof for %q: %w", req.Key, err)
+	}
+	args := DeliverArgs{ID: req.ID, Record: rec, Proof: proof, Callback: req.Callback}
+	if s.Tamper != nil {
+		s.Tamper(&args)
+	}
+	s.chain.Submit(&chain.Tx{
+		From:         s.addr,
+		To:           s.manager,
+		Method:       "deliver",
+		Args:         args,
+		PayloadBytes: DeliverPayloadSize(args.Record, args.Proof),
+	})
+	return nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"grub/internal/policy"
+	"grub/internal/workload"
+)
+
+// The reads-only on-chain-trace baseline must cost strictly between the
+// off-chain control plane and the reads+writes variant on a mixed workload.
+func TestTraceModesOrdering(t *testing.T) {
+	trace := workload.Ratio("k", 1, 4, 16, 32, 11)
+	run := func(mode TraceMode) uint64 {
+		f := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 8, Trace: mode})
+		if err := f.Process(trace); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(f.FeedGas())
+	}
+	off := run(TraceOff)
+	r := run(TraceReads)
+	rw := run(TraceReadsWrites)
+	if !(off < r && r < rw) {
+		t.Fatalf("trace-mode gas ordering violated: off=%d reads=%d rw=%d", off, r, rw)
+	}
+}
+
+// Counters persisted by the on-chain-trace baseline must actually live in
+// contract storage (that is where their cost comes from).
+func TestTraceCountersInStorage(t *testing.T) {
+	f := newTestFeed(policy.Never{}, Options{EpochOps: 4, Trace: TraceReadsWrites})
+	f.Write(KV{Key: "k", Value: []byte("v")})
+	f.FlushEpoch()
+	if err := f.Read("k"); err != nil {
+		t.Fatal(err)
+	}
+	// digest + read counter (the write counter appears once the record is
+	// replicated or evicted; NR data writes never touch the chain).
+	if got := f.Chain.StorageSize("grub-manager"); got < 2 {
+		t.Fatalf("manager slots = %d, want digest + trace counter", got)
+	}
+}
+
+// Eager vs deferred promotion: both must converge to the same replication
+// state; eager must replicate earlier (within the burst).
+func TestEagerVsDeferredPromotion(t *testing.T) {
+	reads := workload.Ratio("k", 0, 4, 1, 32, 13) // a 4-read burst
+
+	eager := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 64})
+	eager.Write(KV{Key: "k", Value: []byte("v")})
+	eager.FlushEpoch()
+	if err := eager.Process(reads); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-burst actuation: the record is already R before any epoch flush.
+	rec, ok := eager.DO.Set().Get("k")
+	if !ok || rec.State.String() != "R" {
+		t.Fatalf("eager: state = %v before flush, want R", rec.State)
+	}
+
+	deferred := newTestFeed(policy.NewMemoryless(2), Options{EpochOps: 64, DeferPromotions: true})
+	deferred.Write(KV{Key: "k", Value: []byte("v")})
+	deferred.FlushEpoch()
+	if err := deferred.Process(reads); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = deferred.DO.Set().Get("k")
+	if rec.State.String() != "NR" {
+		t.Fatalf("deferred: state = %v before flush, want NR", rec.State)
+	}
+	deferred.FlushEpoch()
+	rec, _ = deferred.DO.Set().Get("k")
+	if rec.State.String() != "R" {
+		t.Fatalf("deferred: state = %v after flush, want R", rec.State)
+	}
+	// Eager serves reads 3..4 on-chain: cheaper than deferred for the
+	// same trace.
+	if eager.FeedGas() >= deferred.FeedGas() {
+		t.Fatalf("eager (%d) not cheaper than deferred (%d) on a read burst",
+			eager.FeedGas(), deferred.FeedGas())
+	}
+}

@@ -1,0 +1,117 @@
+package gas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWords(t *testing.T) {
+	tests := []struct {
+		bytes int
+		want  int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{31, 1},
+		{32, 1},
+		{33, 2},
+		{64, 2},
+		{65, 3},
+		{1024, 32},
+	}
+	for _, tt := range tests {
+		if got := Words(tt.bytes); got != tt.want {
+			t.Errorf("Words(%d) = %d, want %d", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestTable2Prices(t *testing.T) {
+	s := DefaultSchedule()
+	// Table 2: Ctx(X) = 21000 + 2176X.
+	if got := s.Tx(0); got != 21000 {
+		t.Errorf("Tx(0) = %d, want 21000", got)
+	}
+	if got := s.Tx(32); got != 21000+2176 {
+		t.Errorf("Tx(32) = %d, want %d", got, 21000+2176)
+	}
+	if got := s.Tx(3 * 32); got != 21000+3*2176 {
+		t.Errorf("Tx(96) = %d, want %d", got, 21000+3*2176)
+	}
+	// Cinsert(X) = 20000X.
+	if got := s.StoreInsert(64); got != 40000 {
+		t.Errorf("StoreInsert(64) = %d, want 40000", got)
+	}
+	// Cupdate(X) = 5000X.
+	if got := s.StoreUpdate(64); got != 10000 {
+		t.Errorf("StoreUpdate(64) = %d, want 10000", got)
+	}
+	// Cread(X) = 200X.
+	if got := s.Load(96); got != 600 {
+		t.Errorf("Load(96) = %d, want 600", got)
+	}
+	// Chash(X) = 30 + 6X.
+	if got := s.Hash(64); got != 30+12 {
+		t.Errorf("Hash(64) = %d, want 42", got)
+	}
+}
+
+func TestLogCost(t *testing.T) {
+	s := DefaultSchedule()
+	if got := s.Log(2, 10); got != 375+2*375+10*8 {
+		t.Errorf("Log(2,10) = %d, want %d", got, 375+2*375+10*8)
+	}
+}
+
+func TestReplicationK(t *testing.T) {
+	s := DefaultSchedule()
+	k := s.ReplicationK()
+	// 5000/2176 ~ 2.30: replication pays off after ~2.3 repeated reads.
+	if k < 2.2 || k > 2.4 {
+		t.Errorf("ReplicationK() = %v, want ~2.3", k)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	if m.Used() != 0 {
+		t.Fatalf("zero meter Used() = %d", m.Used())
+	}
+	m.Charge(100)
+	m.Charge(23)
+	if m.Used() != 123 {
+		t.Fatalf("Used() = %d, want 123", m.Used())
+	}
+	if got := m.Reset(); got != 123 {
+		t.Fatalf("Reset() = %d, want 123", got)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("Used() after Reset = %d, want 0", m.Used())
+	}
+}
+
+func TestTxMonotonic(t *testing.T) {
+	s := DefaultSchedule()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return s.Tx(x) <= s.Tx(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsProperty(t *testing.T) {
+	// Words(n)*32 >= n and Words(n)*32 - n < 32 for all n >= 0.
+	f := func(n uint16) bool {
+		w := Words(int(n))
+		return w*WordSize >= int(n) && (n == 0 || w*WordSize-int(n) < WordSize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

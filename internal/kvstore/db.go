@@ -1,0 +1,471 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned by Get when a key is absent or deleted.
+var ErrNotFound = errors.New("kvstore: not found")
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("kvstore: database closed")
+
+// Options configures a DB.
+type Options struct {
+	// MemtableBytes is the approximate size at which the memtable is
+	// flushed to an SSTable. Defaults to 1 MiB.
+	MemtableBytes int
+	// L0Compact is the number of level-0 tables that triggers a
+	// compaction into level 1. Defaults to 4.
+	L0Compact int
+	// SyncWrites forces an fsync per write batch. Defaults to false
+	// (the simulation workloads issue millions of writes).
+	SyncWrites bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 1 << 20
+	}
+	if o.L0Compact <= 0 {
+		o.L0Compact = 4
+	}
+	return o
+}
+
+// DB is an LSM-tree key-value store. It is safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	dir     string
+	opts    Options
+	mem     *memtable
+	wal     *wal
+	seq     uint64     // last assigned sequence number
+	l0      []*sstable // newest first
+	l1      []*sstable // sorted by smallest key, non-overlapping
+	nextNum uint64
+	closed  bool
+}
+
+// Open opens (creating if necessary) a store in dir and replays any WAL left
+// by a previous process.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: mkdir: %w", err)
+	}
+	db := &DB{dir: dir, opts: opts, mem: newMemtable(), nextNum: 1}
+	if err := db.loadTables(); err != nil {
+		return nil, err
+	}
+	// Replay WAL into the fresh memtable.
+	_, err := replayWAL(db.walPath(), func(key []byte, seq uint64, kind entryKind, val []byte) {
+		db.mem.add(key, seq, kind, val)
+		if seq > db.seq {
+			db.seq = seq
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(db.walPath())
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+func (db *DB) walPath() string { return filepath.Join(db.dir, "wal.log") }
+
+// loadTables scans the directory for SSTables and a CURRENT manifest
+// describing their levels.
+func (db *DB) loadTables() error {
+	manifest := filepath.Join(db.dir, "CURRENT")
+	data, err := os.ReadFile(manifest)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: read manifest: %w", err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var num uint64
+		var level int
+		var maxSeq uint64
+		if _, err := fmt.Sscanf(line, "%d %d %d", &num, &level, &maxSeq); err != nil {
+			return fmt.Errorf("kvstore: manifest line %q: %w", line, err)
+		}
+		t, err := openSSTable(sstFileName(db.dir, num), num, level)
+		if err != nil {
+			return err
+		}
+		if level == 0 {
+			db.l0 = append(db.l0, t)
+		} else {
+			db.l1 = append(db.l1, t)
+		}
+		if num >= db.nextNum {
+			db.nextNum = num + 1
+		}
+		if maxSeq > db.seq {
+			db.seq = maxSeq
+		}
+	}
+	// l0 newest first (higher file number = newer).
+	sort.Slice(db.l0, func(i, j int) bool { return db.l0[i].num > db.l0[j].num })
+	sort.Slice(db.l1, func(i, j int) bool {
+		return compareBytes(db.l1[i].smallest, db.l1[j].smallest) < 0
+	})
+	return nil
+}
+
+func (db *DB) writeManifest() error {
+	var b strings.Builder
+	for _, t := range db.l0 {
+		fmt.Fprintf(&b, "%d 0 %d\n", t.num, db.seq)
+	}
+	for _, t := range db.l1 {
+		fmt.Fprintf(&b, "%d 1 %d\n", t.num, db.seq)
+	}
+	tmp := filepath.Join(db.dir, "CURRENT.tmp")
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("kvstore: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, "CURRENT")); err != nil {
+		return fmt.Errorf("kvstore: install manifest: %w", err)
+	}
+	return nil
+}
+
+// Put stores a key-value pair.
+func (db *DB) Put(key, value []byte) error {
+	b := NewBatch()
+	b.Put(key, value)
+	return db.Write(b)
+}
+
+// Delete removes a key (writes a tombstone).
+func (db *DB) Delete(key []byte) error {
+	b := NewBatch()
+	b.Delete(key)
+	return db.Write(b)
+}
+
+// Write applies a batch atomically: the whole batch is one WAL record and is
+// visible at a single sequence point.
+func (db *DB) Write(b *Batch) error {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	var payload []byte
+	for _, op := range b.ops {
+		db.seq++
+		payload = appendEntry(payload, op.key, db.seq, op.kind, op.val)
+	}
+	if err := db.wal.append(payload, db.opts.SyncWrites); err != nil {
+		return err
+	}
+	seq := db.seq - uint64(len(b.ops)) + 1
+	for _, op := range b.ops {
+		db.mem.add(op.key, seq, op.kind, op.val)
+		seq++
+	}
+	if db.mem.size >= db.opts.MemtableBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the current value of key.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	return db.getLocked(key, db.seq)
+}
+
+// GetAt returns the value of key as of the given snapshot.
+func (db *DB) GetAt(key []byte, snap Snapshot) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	return db.getLocked(key, uint64(snap))
+}
+
+func (db *DB) getLocked(key []byte, maxSeq uint64) ([]byte, error) {
+	if v, deleted, ok := db.mem.get(key, maxSeq); ok {
+		if deleted {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	for _, t := range db.l0 {
+		if !t.overlaps(key, key) {
+			continue
+		}
+		if v, deleted, ok := t.get(key, maxSeq); ok {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), v...), nil
+		}
+	}
+	// L1 tables are non-overlapping: binary search for the candidate.
+	i := sort.Search(len(db.l1), func(i int) bool {
+		return compareBytes(db.l1[i].largest, key) >= 0
+	})
+	if i < len(db.l1) && db.l1[i].overlaps(key, key) {
+		if v, deleted, ok := db.l1[i].get(key, maxSeq); ok {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), v...), nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Has reports whether key is present.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Snapshot is a read view at a fixed sequence number.
+type Snapshot uint64
+
+// GetSnapshot captures the current sequence point.
+func (db *DB) GetSnapshot() Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return Snapshot(db.seq)
+}
+
+// NewIterator returns an iterator over all live keys at the current snapshot.
+func (db *DB) NewIterator() *Iterator {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.iteratorLocked(db.seq)
+}
+
+// NewIteratorAt returns an iterator pinned at snap.
+func (db *DB) NewIteratorAt(snap Snapshot) *Iterator {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.iteratorLocked(uint64(snap))
+}
+
+func (db *DB) iteratorLocked(maxSeq uint64) *Iterator {
+	var sources []*mergeSource
+	rank := 0
+	sources = append(sources, &mergeSource{it: db.mem.iterator(), rank: rank})
+	rank++
+	for _, t := range db.l0 {
+		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
+		rank++
+	}
+	for _, t := range db.l1 {
+		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
+		rank++
+	}
+	return newIterator(sources, maxSeq)
+}
+
+// Flush forces the memtable to disk as a level-0 SSTable.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.count == 0 {
+		return nil
+	}
+	var entries []sstEntry
+	it := db.mem.iterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		ik, v := it.Entry()
+		entries = append(entries, sstEntry{key: ik, val: v})
+	}
+	num := db.nextNum
+	db.nextNum++
+	path := sstFileName(db.dir, num)
+	if err := writeSSTable(path, entries); err != nil {
+		return err
+	}
+	t, err := openSSTable(path, num, 0)
+	if err != nil {
+		return err
+	}
+	db.l0 = append([]*sstable{t}, db.l0...)
+	db.mem = newMemtable()
+	// Truncate the WAL: its contents are now durable in the SSTable.
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	if err := os.Remove(db.walPath()); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("kvstore: remove wal: %w", err)
+	}
+	w, err := openWAL(db.walPath())
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	if err := db.writeManifest(); err != nil {
+		return err
+	}
+	if len(db.l0) >= db.opts.L0Compact {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all level-0 tables with level 1, dropping shadowed versions
+// and tombstones.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	if len(db.l0) == 0 && len(db.l1) <= 1 {
+		return nil
+	}
+	var sources []*mergeSource
+	rank := 0
+	for _, t := range db.l0 {
+		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
+		rank++
+	}
+	for _, t := range db.l1 {
+		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
+		rank++
+	}
+	old := append(append([]*sstable(nil), db.l0...), db.l1...)
+
+	merged := newIterator(sources, db.seq)
+	var entries []sstEntry
+	for ; merged.Valid(); merged.Next() {
+		entries = append(entries, sstEntry{
+			key: internalKey{user: merged.Key(), seq: db.seq, kind: kindValue},
+			val: merged.Value(),
+		})
+	}
+	db.l0 = nil
+	db.l1 = nil
+	if len(entries) > 0 {
+		num := db.nextNum
+		db.nextNum++
+		path := sstFileName(db.dir, num)
+		if err := writeSSTable(path, entries); err != nil {
+			return err
+		}
+		t, err := openSSTable(path, num, 1)
+		if err != nil {
+			return err
+		}
+		db.l1 = []*sstable{t}
+	}
+	if err := db.writeManifest(); err != nil {
+		return err
+	}
+	for _, t := range old {
+		if err := os.Remove(sstFileName(db.dir, t.num)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("kvstore: remove old table: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live keys (full scan; intended for tests and
+// small stores).
+func (db *DB) Len() int {
+	n := 0
+	for it := db.NewIterator(); it.Valid(); it.Next() {
+		n++
+	}
+	return n
+}
+
+// Close flushes and closes the store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	return db.wal.close()
+}
+
+// Batch is an ordered set of writes applied atomically.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key  []byte
+	val  []byte
+	kind entryKind
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put records an insert/overwrite in the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		key:  append([]byte(nil), key...),
+		val:  append([]byte(nil), value...),
+		kind: kindValue,
+	})
+}
+
+// Delete records a deletion in the batch.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), kind: kindDelete})
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }

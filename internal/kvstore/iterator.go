@@ -1,0 +1,133 @@
+package kvstore
+
+import "container/heap"
+
+// internalIterator is the common shape of memtable and SSTable iterators.
+type internalIterator interface {
+	SeekToFirst()
+	Seek(user []byte)
+	Valid() bool
+	Next()
+	Entry() (internalKey, []byte)
+}
+
+// mergeSource wraps one internal iterator with a tie-break rank: lower rank
+// wins on equal internal keys (rank encodes recency: memtable first, then
+// newer tables).
+type mergeSource struct {
+	it   internalIterator
+	rank int
+}
+
+// mergeHeap is a min-heap of non-exhausted sources ordered by their current
+// internal key, breaking ties by rank.
+type mergeHeap []*mergeSource
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(i, j int) bool {
+	ki, _ := h[i].it.Entry()
+	kj, _ := h[j].it.Entry()
+	if c := compareInternal(ki, kj); c != 0 {
+		return c < 0
+	}
+	return h[i].rank < h[j].rank
+}
+
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(*mergeSource)) }
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Iterator walks live user keys in ascending order at a fixed snapshot.
+// Tombstoned and shadowed versions are suppressed. The Key and Value slices
+// are valid until the next call to Next or Seek.
+type Iterator struct {
+	h      mergeHeap
+	maxSeq uint64
+	key    []byte
+	val    []byte
+	valid  bool
+}
+
+func newIterator(sources []*mergeSource, maxSeq uint64) *Iterator {
+	it := &Iterator{maxSeq: maxSeq}
+	for _, s := range sources {
+		s.it.SeekToFirst()
+		if s.it.Valid() {
+			it.h = append(it.h, s)
+		}
+	}
+	heap.Init(&it.h)
+	it.findNext(nil)
+	return it
+}
+
+// Seek repositions the iterator at the first live key >= user.
+func (it *Iterator) Seek(user []byte) {
+	var srcs []*mergeSource
+	for _, s := range it.h {
+		srcs = append(srcs, s)
+	}
+	it.h = it.h[:0]
+	for _, s := range srcs {
+		s.it.Seek(user)
+		if s.it.Valid() {
+			it.h = append(it.h, s)
+		}
+	}
+	heap.Init(&it.h)
+	it.findNext(nil)
+}
+
+// findNext advances the merged stream to the next live user key strictly
+// greater than prev (or any key if prev is nil).
+func (it *Iterator) findNext(prev []byte) {
+	for len(it.h) > 0 {
+		top := it.h[0]
+		ik, v := top.it.Entry()
+		// Advance the source.
+		top.it.Next()
+		if top.it.Valid() {
+			heap.Fix(&it.h, 0)
+		} else {
+			heap.Pop(&it.h)
+		}
+		if ik.seq > it.maxSeq {
+			continue // newer than our snapshot
+		}
+		if prev != nil && compareBytes(ik.user, prev) == 0 {
+			continue // shadowed older version of a key we already emitted/skipped
+		}
+		// ik is the newest visible version of ik.user.
+		prev = append([]byte(nil), ik.user...)
+		if ik.kind == kindDelete {
+			continue // tombstone: skip this user key entirely
+		}
+		it.key = prev
+		it.val = append([]byte(nil), v...)
+		it.valid = true
+		return
+	}
+	it.valid = false
+	it.key, it.val = nil, nil
+}
+
+// Valid reports whether the iterator is positioned at a live entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Next advances to the next live user key.
+func (it *Iterator) Next() { it.findNext(it.key) }
+
+// Key returns the current user key.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.val }

@@ -1,0 +1,236 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// SSTable layout (single data region + sparse index + footer):
+//
+//	entries...                 (serialized with appendEntry, internal-key order)
+//	index:                     repeated { varint(len key) | key | offset (8B) }
+//	footer:                    indexOffset (8B) | indexCount (4B) |
+//	                           entryCount (4B) | crc32(data+index) (4B) | magic (8B)
+//
+// The sparse index holds the first user key of every indexInterval-th entry,
+// so point lookups binary-search the index and then scan at most
+// indexInterval entries.
+
+const (
+	sstMagic      = 0x4752754253535431 // "GRuBSST1"
+	indexInterval = 16
+	footerSize    = 8 + 4 + 4 + 4 + 8
+)
+
+// sstEntry is a decoded table entry held in memory during builds and merges.
+type sstEntry struct {
+	key internalKey
+	val []byte
+}
+
+// sstable is an open, immutable table file fully resident in memory.
+// Tables in the GRuB experiments are small (at most a few MiB); holding them
+// resident keeps reads deterministic and simple. The on-disk format is still
+// honored so that reopening a store works.
+type sstable struct {
+	num      uint64 // file number
+	level    int
+	data     []byte   // raw entry region
+	offsets  []int    // index: entry offsets into data (sparse)
+	firstKey [][]byte // index: user key at each offset
+	count    int      // number of entries
+	smallest []byte   // first user key in the table
+	largest  []byte   // last user key in the table
+}
+
+func sstFileName(dir string, num uint64) string {
+	return fmt.Sprintf("%s/%06d.sst", dir, num)
+}
+
+// writeSSTable serializes entries (already in internal-key order) to path.
+func writeSSTable(path string, entries []sstEntry) error {
+	var data []byte
+	var idxOffsets []int
+	var idxKeys [][]byte
+	for i, e := range entries {
+		if i%indexInterval == 0 {
+			idxOffsets = append(idxOffsets, len(data))
+			idxKeys = append(idxKeys, e.key.user)
+		}
+		data = appendEntry(data, e.key.user, e.key.seq, e.key.kind, e.val)
+	}
+	indexOffset := len(data)
+	for i, k := range idxKeys {
+		data = binary.AppendUvarint(data, uint64(len(k)))
+		data = append(data, k...)
+		var off [8]byte
+		binary.LittleEndian.PutUint64(off[:], uint64(idxOffsets[i]))
+		data = append(data, off[:]...)
+	}
+	sum := crc32.ChecksumIEEE(data)
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOffset))
+	binary.LittleEndian.PutUint32(footer[8:12], uint32(len(idxKeys)))
+	binary.LittleEndian.PutUint32(footer[12:16], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(footer[16:20], sum)
+	binary.LittleEndian.PutUint64(footer[20:28], sstMagic)
+	data = append(data, footer[:]...)
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("kvstore: write sstable: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("kvstore: rename sstable: %w", err)
+	}
+	return nil
+}
+
+// openSSTable reads and validates the table at path.
+func openSSTable(path string, num uint64, level int) (*sstable, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open sstable: %w", err)
+	}
+	if len(raw) < footerSize {
+		return nil, fmt.Errorf("kvstore: sstable %s too short", path)
+	}
+	footer := raw[len(raw)-footerSize:]
+	if binary.LittleEndian.Uint64(footer[20:28]) != sstMagic {
+		return nil, fmt.Errorf("kvstore: sstable %s bad magic", path)
+	}
+	indexOffset := int(binary.LittleEndian.Uint64(footer[0:8]))
+	idxCount := int(binary.LittleEndian.Uint32(footer[8:12]))
+	entryCount := int(binary.LittleEndian.Uint32(footer[12:16]))
+	wantSum := binary.LittleEndian.Uint32(footer[16:20])
+	body := raw[:len(raw)-footerSize]
+	if crc32.ChecksumIEEE(body) != wantSum {
+		return nil, fmt.Errorf("kvstore: sstable %s checksum mismatch", path)
+	}
+	if indexOffset > len(body) {
+		return nil, fmt.Errorf("kvstore: sstable %s corrupt index offset", path)
+	}
+	t := &sstable{num: num, level: level, data: body[:indexOffset], count: entryCount}
+	idx := body[indexOffset:]
+	off := 0
+	for i := 0; i < idxCount; i++ {
+		klen, m := binary.Uvarint(idx[off:])
+		if m <= 0 || off+m+int(klen)+8 > len(idx) {
+			return nil, fmt.Errorf("kvstore: sstable %s corrupt index entry %d", path, i)
+		}
+		off += m
+		t.firstKey = append(t.firstKey, idx[off:off+int(klen)])
+		off += int(klen)
+		t.offsets = append(t.offsets, int(binary.LittleEndian.Uint64(idx[off:off+8])))
+		off += 8
+	}
+	if entryCount > 0 {
+		k, _, _, _, _, derr := decodeEntry(t.data)
+		if derr != nil {
+			return nil, fmt.Errorf("kvstore: sstable %s first entry: %w", path, derr)
+		}
+		t.smallest = k
+		it := t.iterator()
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			ik, _ := it.Entry()
+			t.largest = ik.user
+		}
+	}
+	return t, nil
+}
+
+// get returns the newest version of key with seq <= maxSeq stored in this
+// table.
+func (t *sstable) get(key []byte, maxSeq uint64) (val []byte, deleted, ok bool) {
+	it := t.iterator()
+	it.Seek(key)
+	for ; it.Valid(); it.Next() {
+		ik, v := it.Entry()
+		if compareBytes(ik.user, key) != 0 {
+			return nil, false, false
+		}
+		if ik.seq > maxSeq {
+			continue
+		}
+		if ik.kind == kindDelete {
+			return nil, true, true
+		}
+		return v, false, true
+	}
+	return nil, false, false
+}
+
+// overlaps reports whether the table's key range intersects [lo, hi]
+// (inclusive; nil bounds mean unbounded).
+func (t *sstable) overlaps(lo, hi []byte) bool {
+	if t.count == 0 {
+		return false
+	}
+	if hi != nil && compareBytes(t.smallest, hi) > 0 {
+		return false
+	}
+	if lo != nil && compareBytes(t.largest, lo) < 0 {
+		return false
+	}
+	return true
+}
+
+// sstIterator walks a table in internal-key order.
+type sstIterator struct {
+	t   *sstable
+	off int
+	ik  internalKey
+	val []byte
+	ok  bool
+}
+
+func (t *sstable) iterator() *sstIterator { return &sstIterator{t: t} }
+
+func (it *sstIterator) SeekToFirst() {
+	it.off = 0
+	it.advance()
+}
+
+// Seek positions the iterator at the first entry whose user key is >= user.
+func (it *sstIterator) Seek(user []byte) {
+	t := it.t
+	// Binary search the sparse index for the last block whose first key
+	// is <= user.
+	i := sort.Search(len(t.firstKey), func(i int) bool {
+		return compareBytes(t.firstKey[i], user) > 0
+	})
+	if i == 0 {
+		it.off = 0
+	} else {
+		it.off = t.offsets[i-1]
+	}
+	it.advance()
+	for it.ok && compareBytes(it.ik.user, user) < 0 {
+		it.advance()
+	}
+}
+
+func (it *sstIterator) advance() {
+	if it.off >= len(it.t.data) {
+		it.ok = false
+		return
+	}
+	key, seq, kind, val, n, err := decodeEntry(it.t.data[it.off:])
+	if err != nil {
+		it.ok = false
+		return
+	}
+	it.ik = internalKey{user: key, seq: seq, kind: kind}
+	it.val = val
+	it.off += n
+	it.ok = true
+}
+
+func (it *sstIterator) Valid() bool { return it.ok }
+
+func (it *sstIterator) Next() { it.advance() }
+
+func (it *sstIterator) Entry() (internalKey, []byte) { return it.ik, it.val }

@@ -1,0 +1,305 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"grub/internal/sim"
+)
+
+func leafData(i int) []byte { return []byte(fmt.Sprintf("leaf-%06d", i)) }
+
+func buildTree(n int) *Tree {
+	leaves := make([]Hash, n)
+	for i := range leaves {
+		leaves[i] = HashLeaf(leafData(i))
+	}
+	return New(leaves)
+}
+
+func TestEmptyRootStable(t *testing.T) {
+	if EmptyRoot() != EmptyRoot() {
+		t.Fatal("EmptyRoot not deterministic")
+	}
+	if New(nil).Root() != EmptyRoot() {
+		t.Fatal("empty tree root != EmptyRoot()")
+	}
+}
+
+func TestSingleLeafRoot(t *testing.T) {
+	h := HashLeaf([]byte("x"))
+	if got := New([]Hash{h}).Root(); got != h {
+		t.Fatalf("single-leaf root = %v, want leaf hash %v", got, h)
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// A leaf containing what looks like two concatenated hashes must not
+	// collide with the interior hash of those hashes.
+	a, b := HashLeaf([]byte("a")), HashLeaf([]byte("b"))
+	payload := append(append([]byte{}, a[:]...), b[:]...)
+	if HashLeaf(payload) == HashInner(a, b) {
+		t.Fatal("leaf and inner hashing share a domain")
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	tr := buildTree(10)
+	orig := tr.Root()
+	for i := 0; i < 10; i++ {
+		tr2 := buildTree(10)
+		tr2.SetLeaf(i, HashLeaf([]byte("tampered")))
+		if tr2.Root() == orig {
+			t.Errorf("tampering leaf %d did not change the root", i)
+		}
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100} {
+		tr := buildTree(n)
+		root := tr.Root()
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d Prove(%d): %v", n, i, err)
+			}
+			if err := Verify(root, HashLeaf(leafData(i)), p); err != nil {
+				t.Fatalf("n=%d Verify(%d): %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	tr := buildTree(16)
+	root := tr.Root()
+	p, _ := tr.Prove(5)
+	err := Verify(root, HashLeaf([]byte("forged")), p)
+	if !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("Verify with forged leaf: err = %v, want ErrInvalidProof", err)
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	tr := buildTree(16)
+	p, _ := tr.Prove(5)
+	err := Verify(HashLeaf([]byte("other root")), HashLeaf(leafData(5)), p)
+	if !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("Verify with wrong root: err = %v, want ErrInvalidProof", err)
+	}
+}
+
+func TestVerifyRejectsTamperedPath(t *testing.T) {
+	tr := buildTree(16)
+	root := tr.Root()
+	p, _ := tr.Prove(3)
+	p.Path[1].Hash = HashLeaf([]byte("evil"))
+	if err := Verify(root, HashLeaf(leafData(3)), p); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("tampered path accepted: %v", err)
+	}
+}
+
+func TestVerifyNilProof(t *testing.T) {
+	if err := Verify(EmptyRoot(), Hash{}, nil); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("nil proof: err = %v", err)
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tr := buildTree(4)
+	if _, err := tr.Prove(4); err == nil {
+		t.Fatal("Prove(4) on 4-leaf tree succeeded")
+	}
+	if _, err := tr.Prove(-1); err == nil {
+		t.Fatal("Prove(-1) succeeded")
+	}
+}
+
+func TestProofSizeLogarithmic(t *testing.T) {
+	tr := buildTree(1024)
+	p, _ := tr.Prove(512)
+	if len(p.Path) != 10 {
+		t.Fatalf("1024-leaf proof path length = %d, want 10", len(p.Path))
+	}
+	if p.Size() <= 0 {
+		t.Fatalf("Size() = %d", p.Size())
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	tr := buildTree(5)
+	h := HashLeaf([]byte("new"))
+	tr.Insert(2, h)
+	if tr.Len() != 6 {
+		t.Fatalf("Len() = %d after insert, want 6", tr.Len())
+	}
+	if tr.Leaf(2) != h {
+		t.Fatal("inserted leaf not at position 2")
+	}
+	if tr.Leaf(3) != HashLeaf(leafData(2)) {
+		t.Fatal("leaf 2 not shifted to position 3")
+	}
+	tr.Delete(2)
+	want := buildTree(5).Root()
+	if tr.Root() != want {
+		t.Fatal("insert+delete did not restore the original root")
+	}
+}
+
+func TestRangeProofAllSpans(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 21} {
+		tr := buildTree(n)
+		root := tr.Root()
+		for start := 0; start <= n; start++ {
+			for end := start; end <= n; end++ {
+				p, err := tr.ProveRange(start, end)
+				if err != nil {
+					t.Fatalf("n=%d ProveRange(%d,%d): %v", n, start, end, err)
+				}
+				leaves := make([]Hash, 0, end-start)
+				for i := start; i < end; i++ {
+					leaves = append(leaves, HashLeaf(leafData(i)))
+				}
+				if err := VerifyRange(root, leaves, p); err != nil {
+					t.Fatalf("n=%d VerifyRange(%d,%d): %v", n, start, end, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeProofRejectsOmission(t *testing.T) {
+	tr := buildTree(16)
+	root := tr.Root()
+	p, _ := tr.ProveRange(4, 8)
+	// Omit one leaf from the claimed range.
+	leaves := []Hash{HashLeaf(leafData(4)), HashLeaf(leafData(5)), HashLeaf(leafData(6))}
+	if err := VerifyRange(root, leaves, p); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("omitted leaf accepted: %v", err)
+	}
+}
+
+func TestRangeProofRejectsSubstitution(t *testing.T) {
+	tr := buildTree(16)
+	root := tr.Root()
+	p, _ := tr.ProveRange(4, 8)
+	leaves := []Hash{
+		HashLeaf(leafData(4)), HashLeaf([]byte("evil")),
+		HashLeaf(leafData(6)), HashLeaf(leafData(7)),
+	}
+	if err := VerifyRange(root, leaves, p); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("substituted leaf accepted: %v", err)
+	}
+}
+
+func TestRangeProofRejectsShiftedRange(t *testing.T) {
+	tr := buildTree(16)
+	root := tr.Root()
+	p, _ := tr.ProveRange(4, 8)
+	// Present leaves 5..9 under a proof for positions 4..8.
+	leaves := []Hash{
+		HashLeaf(leafData(5)), HashLeaf(leafData(6)),
+		HashLeaf(leafData(7)), HashLeaf(leafData(8)),
+	}
+	if err := VerifyRange(root, leaves, p); !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("shifted range accepted: %v", err)
+	}
+}
+
+func TestRangeProofEmptyRange(t *testing.T) {
+	tr := buildTree(9)
+	root := tr.Root()
+	for _, at := range []int{0, 3, 9} {
+		p, err := tr.ProveRange(at, at)
+		if err != nil {
+			t.Fatalf("ProveRange(%d,%d): %v", at, at, err)
+		}
+		if err := VerifyRange(root, nil, p); err != nil {
+			t.Fatalf("VerifyRange empty at %d: %v", at, err)
+		}
+	}
+}
+
+func TestRangeProofWholeTree(t *testing.T) {
+	tr := buildTree(10)
+	p, _ := tr.ProveRange(0, 10)
+	if len(p.Left)+len(p.Right) != 0 {
+		t.Fatalf("whole-tree range proof has %d sibling hashes, want 0", len(p.Left)+len(p.Right))
+	}
+}
+
+// Property: Prove/Verify round-trips for random tree sizes and indices, and a
+// flipped bit in the leaf always fails.
+func TestProveVerifyProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, iRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		i := int(iRaw) % n
+		r := sim.NewRand(seed)
+		leaves := make([]Hash, n)
+		for j := range leaves {
+			leaves[j] = HashLeaf([]byte(fmt.Sprintf("%d-%d", r.Uint64(), j)))
+		}
+		tr := New(leaves)
+		root := tr.Root()
+		p, err := tr.Prove(i)
+		if err != nil {
+			return false
+		}
+		if Verify(root, leaves[i], p) != nil {
+			return false
+		}
+		bad := leaves[i]
+		bad[0] ^= 1
+		return Verify(root, bad, p) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a range proof over a random span verifies, and inserting an extra
+// leaf into the claimed range fails.
+func TestRangeProofProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, aRaw, bRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		a := int(aRaw) % (n + 1)
+		b := int(bRaw) % (n + 1)
+		if a > b {
+			a, b = b, a
+		}
+		r := sim.NewRand(seed)
+		leaves := make([]Hash, n)
+		for j := range leaves {
+			leaves[j] = HashLeaf([]byte(fmt.Sprintf("%d-%d", r.Uint64(), j)))
+		}
+		tr := New(leaves)
+		root := tr.Root()
+		p, err := tr.ProveRange(a, b)
+		if err != nil {
+			return false
+		}
+		return VerifyRange(root, leaves[a:b], p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRoot1024(b *testing.B) {
+	tr := buildTree(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Root()
+	}
+}
+
+func BenchmarkProve1024(b *testing.B) {
+	tr := buildTree(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = tr.Prove(i % 1024)
+	}
+}

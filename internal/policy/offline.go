@@ -1,0 +1,169 @@
+package policy
+
+import (
+	"fmt"
+
+	"grub/internal/ads"
+	"grub/internal/gas"
+)
+
+// Costs captures the per-interval Gas terms the offline optimum weighs for a
+// record of a given size: what one on-chain replica write costs versus what
+// one off-chain (deliver-path) read costs and one on-chain (replica) read
+// costs.
+type Costs struct {
+	// ReplicaWrite is the Gas to (re)write the on-chain replica once.
+	ReplicaWrite float64
+	// OffChainRead is the Gas of one deliver-path read of an NR record.
+	OffChainRead float64
+	// OnChainRead is the Gas of one storage read of an R record.
+	OnChainRead float64
+}
+
+// CostsForRecord derives the analysis-level interval costs from a schedule
+// for a record of valueBytes whose deliver path carries proofBytes of proof.
+//
+// Following Appendix A, Cread_off is the *marginal data-movement* cost of
+// bringing the record on-chain (2176 Gas per word of value+proof), excluding
+// the workload-independent 21000 transaction base; Cupdate is the storage
+// update price. The full-system Gas including bases, events and batching is
+// measured end-to-end by internal/core.
+func CostsForRecord(s gas.Schedule, valueBytes, proofBytes int) Costs {
+	return Costs{
+		ReplicaWrite: float64(s.StoreUpdate(valueBytes)),
+		OffChainRead: float64(s.TxPerWord) * float64(gas.Words(valueBytes+proofBytes)),
+		OnChainRead:  float64(s.Load(valueBytes)),
+	}
+}
+
+// OfflineOptimal is the clairvoyant algorithm of Appendix A: it sees the
+// whole trace in advance and, for every write, replicates exactly when the
+// run of reads before the next write is cheaper served from an on-chain
+// replica. It is the baseline against which the online algorithms'
+// competitiveness is measured (and property-tested).
+type OfflineOptimal struct {
+	costs     Costs
+	decisions []ads.State // decision per trace position
+	pos       int
+	states    map[string]ads.State
+}
+
+// NewOfflineOptimal precomputes optimal decisions for trace.
+func NewOfflineOptimal(trace []Op, costs Costs) *OfflineOptimal {
+	o := &OfflineOptimal{
+		costs:     costs,
+		decisions: make([]ads.State, len(trace)),
+		states:    make(map[string]ads.State),
+	}
+	// For each write at position i on key k, count reads of k until k's
+	// next write; replicate iff replicaWrite + reads*onChainRead <=
+	// reads*offChainRead.
+	nextReads := make([]int, len(trace))
+	// Scan backwards: for each position, reads-of-key until key's next write.
+	readsAfter := make(map[string]int)
+	for i := len(trace) - 1; i >= 0; i-- {
+		op := trace[i]
+		if op.Write {
+			nextReads[i] = readsAfter[op.Key]
+			readsAfter[op.Key] = 0
+		} else {
+			readsAfter[op.Key]++
+		}
+	}
+	for i, op := range trace {
+		if !op.Write {
+			// Reads keep the decision made at the preceding write.
+			o.decisions[i] = ads.NR // refined during Observe via states map
+			continue
+		}
+		n := float64(nextReads[i])
+		withReplica := costs.ReplicaWrite + n*costs.OnChainRead
+		without := n * costs.OffChainRead
+		if withReplica <= without {
+			o.decisions[i] = ads.R
+		} else {
+			o.decisions[i] = ads.NR
+		}
+	}
+	return o
+}
+
+// Name implements Policy.
+func (o *OfflineOptimal) Name() string { return "offline-optimal" }
+
+// Observe implements Policy: it replays the precomputed decision stream. It
+// panics if observed past the precomputed trace (that is a harness bug, not
+// a runtime condition).
+func (o *OfflineOptimal) Observe(op Op) ads.State {
+	if o.pos >= len(o.decisions) {
+		panic(fmt.Sprintf("policy: OfflineOptimal observed %d ops beyond its trace", o.pos+1))
+	}
+	if op.Write {
+		o.states[op.Key] = o.decisions[o.pos]
+	}
+	o.pos++
+	return o.states[op.Key]
+}
+
+// Target implements Policy.
+func (o *OfflineOptimal) Target(key string) ads.State { return o.states[key] }
+
+// OptimalGas returns the clairvoyant total Gas for trace under costs: per
+// write-interval, the cheaper of serving the following reads on-chain (after
+// one replica write) or off-chain. Trailing reads before any write are
+// costed as off-chain unless preceded by a replicated interval.
+func OptimalGas(trace []Op, costs Costs) float64 {
+	// Group per key: positions of writes and read runs between them.
+	type state struct {
+		reads int // reads since last write (or start)
+	}
+	perKey := make(map[string]*state)
+	total := 0.0
+	flush := func(st *state, hadWrite bool) {
+		if st.reads == 0 {
+			return
+		}
+		total += flushInterval(float64(st.reads), hadWrite, costs)
+	}
+	writesSeen := make(map[string]bool)
+	for _, op := range trace {
+		st := perKey[op.Key]
+		if st == nil {
+			st = &state{}
+			perKey[op.Key] = st
+		}
+		if op.Write {
+			flush(st, writesSeen[op.Key])
+			st.reads = 0
+			writesSeen[op.Key] = true
+		} else {
+			st.reads++
+		}
+	}
+	for k, st := range perKey {
+		flush(st, writesSeen[k])
+	}
+	return total
+}
+
+// flushInterval returns the clairvoyant cost of serving n reads in one
+// write interval. Three strategies are considered: serve everything
+// off-chain; replicate at the opening write (only if the interval opened
+// with a write); or replicate lazily at the first read (one delivery, then
+// replica reads).
+func flushInterval(n float64, hadWrite bool, costs Costs) float64 {
+	best := n * costs.OffChainRead
+	if hadWrite {
+		if c := costs.ReplicaWrite + n*costs.OnChainRead; c < best {
+			best = c
+		}
+	}
+	if n >= 1 {
+		if c := costs.OffChainRead + costs.ReplicaWrite + (n-1)*costs.OnChainRead; c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+var _ Policy = (*OfflineOptimal)(nil)

@@ -1,0 +1,74 @@
+// Package policy implements GRuB's online replication decision-making
+// algorithms (paper §3.1 and Appendix C.3):
+//
+//   - Memoryless (Algorithm 1): per-record consecutive-read counters with
+//     threshold K; 2-competitive when K follows Equation 1.
+//   - Memorizing (Algorithm 2): cumulative read/write counters with slack D;
+//     (4D+2)/K'-competitive.
+//   - AdaptiveK1 / AdaptiveK2: the Appendix C.3 heuristics that re-estimate K
+//     from the recent reads-per-write history.
+//   - Never / Always: the static baselines BL1 and BL2.
+//   - OfflineOptimal: the clairvoyant algorithm used as the competitive
+//     yardstick (Appendix A).
+//
+// A Policy consumes the operation trace (the control plane feeds it local
+// writes plus the on-chain read log) and maintains a target replication state
+// per key. The actuator materializes state changes on the data plane.
+package policy
+
+import "grub/internal/ads"
+
+// Op is one operation in the observed trace.
+type Op struct {
+	// Write is true for a data update from the DO, false for a gGet read.
+	Write bool
+	Key   string
+}
+
+// Read returns a read op for key.
+func Read(key string) Op { return Op{Key: key} }
+
+// Write returns a write op for key.
+func Write(key string) Op { return Op{Write: true, Key: key} }
+
+// Policy is an online replication decision maker. Implementations are not
+// safe for concurrent use; the control plane is single-threaded.
+type Policy interface {
+	// Name identifies the policy in benchmark output.
+	Name() string
+	// Observe processes one trace operation and returns the key's target
+	// replication state after the operation.
+	Observe(op Op) ads.State
+	// Target returns the current target state for key without observing
+	// anything.
+	Target(key string) ads.State
+}
+
+// Never is the static no-replication baseline (BL1).
+type Never struct{}
+
+// Name implements Policy.
+func (Never) Name() string { return "BL1-never" }
+
+// Observe implements Policy.
+func (Never) Observe(Op) ads.State { return ads.NR }
+
+// Target implements Policy.
+func (Never) Target(string) ads.State { return ads.NR }
+
+// Always is the static always-replicate baseline (BL2).
+type Always struct{}
+
+// Name implements Policy.
+func (Always) Name() string { return "BL2-always" }
+
+// Observe implements Policy.
+func (Always) Observe(Op) ads.State { return ads.R }
+
+// Target implements Policy.
+func (Always) Target(string) ads.State { return ads.R }
+
+var (
+	_ Policy = Never{}
+	_ Policy = Always{}
+)

@@ -1,0 +1,60 @@
+package policy
+
+import "grub/internal/ads"
+
+// SimulateGas replays a trace against a policy under the abstract cost model
+// of Appendix A and returns the total Gas the policy's decisions induce.
+//
+// The accounting mirrors the paper's analysis exactly:
+//
+//   - a read of an R record costs OnChainRead;
+//   - a read of an NR record costs OffChainRead;
+//   - a transition NR->R costs ReplicaWrite (the replication itself);
+//   - a write to an R record costs ReplicaWrite (the on-chain replica must be
+//     updated); a write to an NR record is free at this layer (the digest
+//     cost is workload-independent and identical across policies, so the
+//     competitive analysis omits it).
+//
+// This is the cost function used by the competitiveness property tests; the
+// full-system Gas (with transactions, batching, events and proofs) is
+// measured by internal/core's end-to-end simulator.
+func SimulateGas(p Policy, trace []Op, costs Costs) float64 {
+	states := make(map[string]ads.State)
+	total := 0.0
+	for _, op := range trace {
+		prev := states[op.Key]
+		next := p.Observe(op)
+		if op.Write {
+			if next == ads.R {
+				// The write lands on (or creates) an on-chain replica.
+				total += costs.ReplicaWrite
+			}
+		} else {
+			if prev == ads.NR && next == ads.R {
+				// Promotion triggered by this read: the record is
+				// first delivered, then replicated.
+				total += costs.OffChainRead + costs.ReplicaWrite
+			} else if prev == ads.R {
+				total += costs.OnChainRead
+			} else {
+				total += costs.OffChainRead
+			}
+		}
+		states[op.Key] = next
+	}
+	return total
+}
+
+// WorstCaseMemorylessTrace builds the adversarial trace of Theorem A.1 for a
+// single key: every write followed by exactly K reads, so every replica the
+// memoryless policy creates is wasted. rounds controls the trace length.
+func WorstCaseMemorylessTrace(key string, k, rounds int) []Op {
+	var trace []Op
+	for i := 0; i < rounds; i++ {
+		trace = append(trace, Write(key))
+		for j := 0; j < k; j++ {
+			trace = append(trace, Read(key))
+		}
+	}
+	return trace
+}

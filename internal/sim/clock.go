@@ -1,0 +1,48 @@
+// Package sim provides deterministic simulation primitives shared by the
+// chain simulator and the benchmark harness: a manually-advanced clock and a
+// seeded random source. Everything in this module is deterministic so that
+// experiments are exactly reproducible run-to-run.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, in abstract time units (the paper's
+// analysis uses seconds; the unit is irrelevant as long as Pt, B, F and E are
+// expressed consistently).
+type Time int64
+
+// Duration is a span of simulated time.
+type Duration = Time
+
+// Clock is a manually advanced simulation clock. The zero value starts at
+// time 0. Clock is not safe for concurrent use; the simulation is
+// single-threaded by design (determinism beats parallelism for Gas
+// accounting).
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at start.
+func NewClock(start Time) *Clock { return &Clock{now: start} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. It panics if d is negative: simulated
+// time never flows backwards, and a negative advance is always a programming
+// error rather than a recoverable condition.
+func (c *Clock) Advance(d Duration) Time {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %d", d))
+	}
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock to t, which must not be in the past.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) before now=%d", t, c.now))
+	}
+	c.now = t
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClock(t *testing.T) {
+	c := NewClock(10)
+	if c.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", c.Now())
+	}
+	if got := c.Advance(5); got != 15 {
+		t.Fatalf("Advance(5) = %d, want 15", got)
+	}
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", c.Now())
+	}
+}
+
+func TestClockPanicsOnNegativeAdvance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock(0).Advance(-1)
+}
+
+func TestClockPanicsOnBackwardAdvanceTo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	c := NewClock(50)
+	c.AdvanceTo(49)
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of range", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRand(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		q := append([]int(nil), p...)
+		sort.Ints(q)
+		for i, v := range q {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	r := NewRand(1234)
+	const n, trials = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from %d", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"grub/internal/sim"
+)
+
+// BtcRelayDistribution is the published reads-per-write distribution of the
+// BtcRelay benchmark built from four Bitcoin-pegged tokens (paper Table 6).
+// The key is the number of Ethereum-side block reads following a Bitcoin
+// block write.
+var BtcRelayDistribution = map[int]float64{
+	0: 0.937,
+	1: 0.0530,
+	2: 0.0077,
+	3: 0.0015,
+	4: 0.0005,
+	5: 0.0004,
+	6: 0.0002,
+	7: 0.0001,
+}
+
+// BtcRelay regenerates the §4.2 workload: an append-only stream of Bitcoin
+// block-header writes (~80-byte headers keyed by height), each followed by a
+// burst of reads drawn from Table 6. Unlike ethPriceOracle, writes never
+// overwrite: each write appends a fresh key, which is why the paper
+// configures GRuB with reusable replica slots and eviction for this feed.
+//
+// A mint/burn verification reads the 6 most recent blocks (SPV confirmation
+// depth), so a read burst of length n touches blocks h-5..h rather than only
+// the newest one; readDepth controls that (6 in the paper, 1 collapses to
+// point reads).
+func BtcRelay(writes, valueBytes, readDepth int, seed uint64) []Op {
+	if readDepth < 1 {
+		readDepth = 1
+	}
+	bursts := SampleBursts(BtcRelayDistribution, writes, seed)
+	r := sim.NewRand(seed ^ 0xB7C)
+	var trace []Op
+	for h, reads := range bursts {
+		trace = append(trace, Write(blockKey(h), randomValue(r, valueBytes)))
+		for j := 0; j < reads; j++ {
+			// A token mint/burn verifies inclusion against recent
+			// blocks: read readDepth consecutive headers ending at
+			// the tip.
+			for d := readDepth - 1; d >= 0; d-- {
+				if h-d >= 0 {
+					trace = append(trace, Read(blockKey(h-d)))
+				}
+			}
+		}
+	}
+	return trace
+}
+
+// BtcRelayPhased regenerates the shape of Figure 6: a write-intensive first
+// half (bursts drawn with the Table 6 zero-heavy distribution) followed by a
+// read-intensive second half (every write followed by several multi-block
+// verifications), so the adaptive feed must converge to BL1 first and BL2
+// later.
+func BtcRelayPhased(writes, valueBytes, readDepth int, seed uint64) []Op {
+	if readDepth < 1 {
+		readDepth = 1
+	}
+	half := writes / 2
+	r := sim.NewRand(seed ^ 0x1CE)
+	var trace []Op
+	bursts := SampleBursts(BtcRelayDistribution, half, seed)
+	h := 0
+	for _, reads := range bursts {
+		trace = append(trace, Write(blockKey(h), randomValue(r, valueBytes)))
+		for j := 0; j < reads; j++ {
+			trace = append(trace, Read(blockKey(h)))
+		}
+		h++
+	}
+	for ; h < writes; h++ {
+		trace = append(trace, Write(blockKey(h), randomValue(r, valueBytes)))
+		// Read-heavy phase: 2-4 verifications, each touching readDepth
+		// recent blocks.
+		verifications := 2 + r.Intn(3)
+		for j := 0; j < verifications; j++ {
+			for d := readDepth - 1; d >= 0; d-- {
+				if h-d >= 0 {
+					trace = append(trace, Read(blockKey(h-d)))
+				}
+			}
+		}
+	}
+	return trace
+}
+
+func blockKey(height int) string { return fmt.Sprintf("btc-block-%08d", height) }
+
+// ReadWriteDelays computes, for every read, how many writes occurred between
+// the read and the write that created its key (the Figure 16b "temporal
+// locality" view, in units of block arrivals rather than wall hours).
+func ReadWriteDelays(trace []Op) []int {
+	writeIndex := make(map[string]int)
+	writes := 0
+	var delays []int
+	for _, op := range trace {
+		if op.Write {
+			writeIndex[op.Key] = writes
+			writes++
+			continue
+		}
+		if w, ok := writeIndex[op.Key]; ok {
+			delays = append(delays, writes-1-w)
+		}
+	}
+	return delays
+}

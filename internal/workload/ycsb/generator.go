@@ -1,0 +1,179 @@
+// Package ycsb re-implements the YCSB core workload model (Cooper et al.,
+// SoCC 2010) used by the paper's macro-benchmarks (§5.2): key choosers
+// (uniform, zipfian, scrambled zipfian, latest), the six core workload
+// mixes A–F, and a phase mixer that concatenates workloads the way the paper
+// mixes A,B / A,E / A,F.
+package ycsb
+
+import (
+	"math"
+
+	"grub/internal/sim"
+)
+
+// Generator yields item indices in [0, n) under some popularity distribution.
+type Generator interface {
+	// Next returns the next index.
+	Next() int
+	// SetItemCount grows the item space (used as inserts land).
+	SetItemCount(n int)
+}
+
+// Uniform picks uniformly from [0, n).
+type Uniform struct {
+	n int
+	r *sim.Rand
+}
+
+// NewUniform returns a uniform chooser over n items.
+func NewUniform(n int, r *sim.Rand) *Uniform { return &Uniform{n: n, r: r} }
+
+// Next implements Generator.
+func (u *Uniform) Next() int { return u.r.Intn(u.n) }
+
+// SetItemCount implements Generator.
+func (u *Uniform) SetItemCount(n int) { u.n = n }
+
+// Zipfian implements Gray et al.'s rejection-free zipfian generator, the
+// same algorithm as YCSB's ZipfianGenerator: item 0 is the most popular.
+type Zipfian struct {
+	items          int
+	base           int
+	theta          float64
+	zeta2theta     float64
+	alpha          float64
+	zetan          float64
+	eta            float64
+	countForZeta   int
+	allowDecrement bool
+	r              *sim.Rand
+}
+
+// ZipfianConstant is YCSB's default skew.
+const ZipfianConstant = 0.99
+
+// NewZipfian returns a zipfian chooser over n items with the default
+// constant.
+func NewZipfian(n int, r *sim.Rand) *Zipfian {
+	z := &Zipfian{items: n, theta: ZipfianConstant, r: r}
+	z.zeta2theta = zetaStatic(2, z.theta)
+	z.alpha = 1 / (1 - z.theta)
+	z.zetan = zetaStatic(n, z.theta)
+	z.countForZeta = n
+	z.eta = z.etaValue()
+	return z
+}
+
+func (z *Zipfian) etaValue() float64 {
+	return (1 - math.Pow(2/float64(z.items), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+func zetaStatic(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// SetItemCount implements Generator, incrementally extending zeta.
+func (z *Zipfian) SetItemCount(n int) {
+	if n <= z.items {
+		return
+	}
+	// Incremental zeta extension, as in YCSB.
+	for i := z.countForZeta + 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.countForZeta = n
+	z.items = n
+	z.eta = z.etaValue()
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() int {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return z.base
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return z.base + 1
+	}
+	idx := z.base + int(float64(z.items)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.items {
+		idx = z.items - 1
+	}
+	return idx
+}
+
+// ScrambledZipfian spreads zipfian popularity across the key space by
+// hashing, as YCSB does, so hot items are not clustered at low indices.
+type ScrambledZipfian struct {
+	z     *Zipfian
+	items int
+}
+
+// NewScrambledZipfian returns a scrambled zipfian chooser over n items.
+func NewScrambledZipfian(n int, r *sim.Rand) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n, r), items: n}
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next() int {
+	return int(fnvHash64(uint64(s.z.Next())) % uint64(s.items))
+}
+
+// SetItemCount implements Generator.
+func (s *ScrambledZipfian) SetItemCount(n int) {
+	s.items = n
+	s.z.SetItemCount(n)
+}
+
+// Latest skews popularity toward the most recently inserted items (YCSB's
+// SkewedLatestGenerator), modelling feeds where fresh records are hot.
+type Latest struct {
+	z *Zipfian
+	n int
+}
+
+// NewLatest returns a latest-skewed chooser over n items.
+func NewLatest(n int, r *sim.Rand) *Latest {
+	return &Latest{z: NewZipfian(n, r), n: n}
+}
+
+// Next implements Generator.
+func (l *Latest) Next() int {
+	next := l.n - 1 - l.z.Next()
+	if next < 0 {
+		next = 0
+	}
+	return next
+}
+
+// SetItemCount implements Generator.
+func (l *Latest) SetItemCount(n int) {
+	l.n = n
+	l.z.SetItemCount(n)
+}
+
+func fnvHash64(v uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 0x100000001B3
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+var (
+	_ Generator = (*Uniform)(nil)
+	_ Generator = (*Zipfian)(nil)
+	_ Generator = (*ScrambledZipfian)(nil)
+	_ Generator = (*Latest)(nil)
+)
