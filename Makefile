@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One fast pass over every registered experiment (including the concurrent
+# gateway benchmark) at reduced scale.
+bench-smoke:
+	$(GO) test -run TestRegistryGolden ./internal/bench
+	$(GO) run ./cmd/grubbench -run gateway -scale 0.1
+
+check: build vet race bench-smoke
+
+clean:
+	$(GO) clean ./...

@@ -61,3 +61,7 @@ func BenchmarkFig13b(b *testing.B) { runExperiment(b, "fig13b") }
 func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14") }
 func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15") }
 func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkGatewayExperiment runs the serving-layer experiment: ops/sec and
+// gas/op through the full HTTP gateway under concurrent clients.
+func BenchmarkGatewayExperiment(b *testing.B) { runExperiment(b, "gateway") }

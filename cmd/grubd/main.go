@@ -1,0 +1,70 @@
+// Command grubd serves the multi-tenant GRuB feed gateway over HTTP.
+//
+// Feeds are created at runtime through the API; each one runs on its own
+// simulated chain behind a dedicated worker goroutine (see internal/server).
+//
+// Usage:
+//
+//	grubd [-addr :8080]
+//
+// Then, for example:
+//
+//	curl -X POST localhost:8080/feeds -d '{"id":"prices","policy":"memoryless","k":2}'
+//	curl -X POST localhost:8080/feeds/prices/ops \
+//	     -d '{"ops":[{"type":"write","key":"ETH-USD","value":"MjE1MC43NQ=="}]}'
+//	curl localhost:8080/feeds/prices/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"grub/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "grubd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until the listener fails or stop is closed.
+// onReady (optional) receives the bound address after the listener is up;
+// tests use it to find the ephemeral port.
+func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("grubd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return serve(*addr, w, onReady, stop)
+}
+
+func serve(addr string, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g := server.NewGateway()
+	srv := &http.Server{Handler: server.NewHandler(g)}
+	fmt.Fprintf(w, "grubd: gateway listening on http://%s\n", ln.Addr())
+	if stop != nil {
+		go func() {
+			<-stop
+			srv.Close()
+			g.Close()
+		}()
+	}
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

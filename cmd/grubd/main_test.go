@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"grub/internal/server"
+)
+
+func TestServeRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0"}, &buf,
+			func(a net.Addr) { ready <- a }, stop)
+	}()
+	addr := <-ready
+
+	c := server.NewClient("http://" + addr.String())
+	if err := c.CreateFeed(server.FeedConfig{ID: "t", EpochOps: 2}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Do("t", []server.Op{
+		{Type: "write", Key: "k", Value: []byte("v")},
+		{Type: "write", Key: "k2", Value: []byte("v2")},
+		{Type: "read", Key: "k"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || !results[2].Found || string(results[2].Value) != "v" {
+		t.Errorf("roundtrip results = %+v", results)
+	}
+	st, err := c.Stats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 3 || st.Feed.FeedGas == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	close(stop)
+	if err := <-errc; err != nil {
+		t.Fatalf("serve returned: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("listening")) {
+		t.Errorf("banner missing: %q", buf.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "256.256.256.256:0"}, &buf, nil, nil); err == nil {
+		t.Fatal("bad addr accepted")
+	}
+}

@@ -3,65 +3,96 @@
 // read/write mix, and reports the replication decisions and Gas as they
 // happen.
 //
+// With -load it instead becomes a gateway load driver: it replays YCSB
+// workloads against a grubd gateway over HTTP from many concurrent clients
+// and reports ops/sec and per-feed gas/op. Pointed at nothing (-gateway ""),
+// it starts an in-process gateway first, so `grubfeed -load` works
+// standalone.
+//
 // Usage:
 //
 //	grubfeed [-ops 256] [-policy memoryless|memorizing|bl1|bl2] [-k 2]
+//	grubfeed -load [-gateway http://host:8080] [-feeds 8] [-clients 32]
+//	         [-batches 8] [-batch 16] [-workload A] [-records 64]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"grub/internal/ads"
 	"grub/internal/chain"
 	"grub/internal/core"
 	"grub/internal/gas"
 	"grub/internal/policy"
+	"grub/internal/server"
 	"grub/internal/sim"
+	"grub/internal/workload/ycsb"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "grubfeed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("grubfeed", flag.ContinueOnError)
-	ops := fs.Int("ops", 256, "operations to drive")
+	ops := fs.Int("ops", 256, "operations to drive (demo mode)")
 	polName := fs.String("policy", "memoryless", "replication policy: memoryless|memorizing|bl1|bl2")
 	k := fs.Int("k", 2, "policy parameter K")
 	epoch := fs.Int("epoch", 16, "operations per epoch")
+	load := fs.Bool("load", false, "replay YCSB against a gateway instead of the demo")
+	gateway := fs.String("gateway", "", "gateway URL for -load; empty starts an in-process gateway")
+	feeds := fs.Int("feeds", 8, "feeds to create (-load)")
+	clients := fs.Int("clients", 32, "concurrent clients (-load)")
+	batches := fs.Int("batches", 8, "batches per client (-load)")
+	batch := fs.Int("batch", 16, "ops per batch (-load)")
+	workloadName := fs.String("workload", "A", "YCSB workload letter (-load)")
+	records := fs.Int("records", 64, "preloaded records per feed (-load)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *load {
+		return runLoad(w, loadConfig{
+			gateway: *gateway, feeds: *feeds, clients: *clients,
+			batches: *batches, batch: *batch, workload: *workloadName,
+			records: *records, policy: *polName, k: *k, epoch: *epoch,
+		})
+	}
+	return runDemo(w, *ops, *polName, *k, *epoch)
+}
+
+func runDemo(w io.Writer, ops int, polName string, k, epoch int) error {
 	var pol policy.Policy
-	switch *polName {
+	switch polName {
 	case "memoryless":
-		pol = policy.NewMemoryless(*k)
+		pol = policy.NewMemoryless(k)
 	case "memorizing":
-		pol = policy.NewMemorizing(*k, 1)
+		pol = policy.NewMemorizing(k, 1)
 	case "bl1":
 		pol = policy.Never{}
 	case "bl2":
 		pol = policy.Always{}
 	default:
-		return fmt.Errorf("unknown policy %q", *polName)
+		return fmt.Errorf("unknown policy %q", polName)
 	}
 
 	c := chain.New(sim.NewClock(0), chain.DefaultParams(), gas.DefaultSchedule())
-	f := core.NewFeed(c, pol, core.Options{EpochOps: *epoch})
-	fmt.Printf("GRuB feed demo: policy=%s epoch=%d ops=%d\n\n", pol.Name(), *epoch, *ops)
+	f := core.NewFeed(c, pol, core.Options{EpochOps: epoch})
+	fmt.Fprintf(w, "GRuB feed demo: policy=%s epoch=%d ops=%d\n\n", pol.Name(), epoch, ops)
 
 	r := sim.NewRand(1)
 	price := uint64(200_00)
 	lastGas := f.FeedGas()
-	for i := 0; i < *ops; i++ {
+	for i := 0; i < ops; i++ {
 		// Phase-shifted mix: write-heavy first half, read-heavy second.
 		readChance := 0.2
-		if i > *ops/2 {
+		if i > ops/2 {
 			readChance = 0.9
 		}
 		if r.Float64() < readChance {
@@ -73,19 +104,69 @@ func run(args []string) error {
 			buf := []byte(fmt.Sprintf("%08d", price))
 			f.Write(core.KV{Key: "ETH-USD", Value: buf})
 		}
-		if (i+1)%*epoch == 0 {
+		if (i+1)%epoch == 0 {
 			rec, _ := f.DO.Set().Get("ETH-USD")
 			g := f.FeedGas()
-			fmt.Printf("epoch %3d | state=%-2s | gas/op %7.0f | height %d\n",
-				(i+1) / *epoch, rec.State, float64(g-lastGas)/float64(*epoch), c.Height())
+			fmt.Fprintf(w, "epoch %3d | state=%-2s | gas/op %7.0f | height %d\n",
+				(i+1)/epoch, rec.State, float64(g-lastGas)/float64(epoch), c.Height())
 			lastGas = g
 		}
 	}
-	fmt.Printf("\nresults: delivered=%d notFound=%d feedGas=%d totalGas=%d\n",
+	fmt.Fprintf(w, "\nresults: delivered=%d notFound=%d feedGas=%d totalGas=%d\n",
 		f.Delivered(), f.NotFound(), f.FeedGas(), c.TotalGas())
 	rec, ok := f.DO.Set().Get("ETH-USD")
 	if ok {
-		fmt.Printf("final record state: %s (replicated on-chain: %v)\n", rec.State, rec.State == ads.R)
+		fmt.Fprintf(w, "final record state: %s (replicated on-chain: %v)\n", rec.State, rec.State == ads.R)
 	}
+	return nil
+}
+
+type loadConfig struct {
+	gateway        string
+	feeds, clients int
+	batches, batch int
+	workload       string
+	records        int
+	policy         string
+	k, epoch       int
+}
+
+// runLoad replays YCSB batches against a gateway from N concurrent clients
+// (the fan-out itself lives in server.RunLoad, shared with the bench
+// experiment).
+func runLoad(w io.Writer, cfg loadConfig) error {
+	spec, err := ycsb.SpecByName(cfg.workload)
+	if err != nil {
+		return err
+	}
+	url := cfg.gateway
+	if url == "" {
+		// Standalone mode: bring up an in-process gateway on loopback.
+		var shutdown func()
+		url, shutdown, err = server.StartLocal()
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(w, "started in-process gateway on %s\n", url)
+	}
+	fmt.Fprintf(w, "load: %d feeds x YCSB-%s, %d clients x %d batches x %d ops\n",
+		cfg.feeds, spec.Name, cfg.clients, cfg.batches, cfg.batch)
+	res, err := server.RunLoad(server.NewClient(url), server.LoadSpec{
+		Prefix: "load", Feeds: cfg.feeds, Clients: cfg.clients,
+		Batches: cfg.batches, BatchOps: cfg.batch, Records: cfg.records,
+		Workload: spec, Policy: cfg.policy, K: cfg.k, EpochOps: cfg.epoch,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\n%-8s %10s %10s %12s %10s\n", "feed", "ops", "batches", "gas/op", "replicas")
+	for _, st := range res.Stats {
+		fmt.Fprintf(w, "%-8s %10d %10d %12.0f %10d\n",
+			st.ID, st.Ops, st.Batches, st.GasPerOp, st.Feed.Replicated)
+	}
+	fmt.Fprintf(w, "\nload results: %d ops in %v -> %.0f ops/sec, avg gas/op %.0f\n",
+		res.LoadOps, res.Elapsed.Round(time.Millisecond), res.OpsPerSec(), res.AvgGasPerOp())
 	return nil
 }

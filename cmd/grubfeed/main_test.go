@@ -1,17 +1,64 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
 func TestPolicies(t *testing.T) {
 	for _, pol := range []string{"memoryless", "memorizing", "bl1", "bl2"} {
-		if err := run([]string{"-ops", "48", "-epoch", "8", "-policy", pol}); err != nil {
+		var buf bytes.Buffer
+		if err := run([]string{"-ops", "48", "-epoch", "8", "-policy", pol}, &buf); err != nil {
 			t.Errorf("policy %s: %v", pol, err)
+		}
+		if !strings.Contains(buf.String(), "results: delivered=") {
+			t.Errorf("policy %s: results line missing:\n%s", pol, buf.String())
 		}
 	}
 }
 
 func TestUnknownPolicy(t *testing.T) {
-	if err := run([]string{"-policy", "bogus"}); err == nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "bogus"}, &buf); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestLoadStandalone runs the gateway load driver end to end against an
+// in-process gateway (run with -race this covers the whole HTTP stack).
+func TestLoadStandalone(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-load", "-feeds", "3", "-clients", "6", "-batches", "2",
+		"-batch", "4", "-records", "8", "-workload", "B"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ops/sec") {
+		t.Errorf("throughput line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "load0") || !strings.Contains(out, "load2") {
+		t.Errorf("per-feed rows missing:\n%s", out)
+	}
+}
+
+func TestLoadUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-load", "-workload", "Z"}, &buf); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestLoadRejectsBadCounts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-load", "-feeds", "0"},
+		{"-load", "-clients", "0"},
+		{"-load", "-batches", "-1"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

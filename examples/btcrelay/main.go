@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	appbtcrelay "grub/internal/apps/btcrelay"
 	"grub/internal/btc"
@@ -20,6 +22,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	c := chain.NewDefault()
 	// The BtcRelay feed runs GRuB with K=2 and a bounded replica budget
 	// with LRU eviction (reusable on-chain slots, as in the paper).
@@ -45,10 +53,10 @@ func main() {
 	// Mint against the SPV proof of the deposit.
 	proof, err := bitcoins.Prove(depositBlock.Height, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := feed.ReadFrom("pegged-btc", "mint", appbtcrelay.MintArgs{Proof: proof}, proof.Size()); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Redeem half of it on Bitcoin and burn the pegged tokens.
@@ -59,19 +67,20 @@ func main() {
 	feed.FlushEpoch()
 	rproof, err := bitcoins.Prove(redeemBlock.Height, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := feed.ReadFrom("pegged-btc", "burn", appbtcrelay.BurnArgs{Proof: rproof}, rproof.Size()); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	bal, err := c.View(pegged.Token().Address(), "balanceOf", chain.Address("alice"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("bitcoin height:            %d\n", bitcoins.Height())
-	fmt.Printf("minted / burned (sats):    %d / %d\n", pegged.Minted, pegged.Burned)
-	fmt.Printf("alice's pegged balance:    %v\n", bal)
-	fmt.Printf("feed-layer gas:            %d\n", feed.FeedGas())
-	fmt.Printf("pegged-token gas:          %d\n", c.GasOf("pegged-btc")+c.GasOf(pegged.Token().Address()))
+	fmt.Fprintf(w, "bitcoin height:            %d\n", bitcoins.Height())
+	fmt.Fprintf(w, "minted / burned (sats):    %d / %d\n", pegged.Minted, pegged.Burned)
+	fmt.Fprintf(w, "alice's pegged balance:    %v\n", bal)
+	fmt.Fprintf(w, "feed-layer gas:            %d\n", feed.FeedGas())
+	fmt.Fprintf(w, "pegged-token gas:          %d\n", c.GasOf("pegged-btc")+c.GasOf(pegged.Token().Address()))
+	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+func TestBtcRelay(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("minted / burned (sats):    125000 / 50000")) {
+		t.Errorf("mint/burn totals wrong:\n%s", out)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("alice's pegged balance:    75000")) {
+		t.Errorf("balance wrong:\n%s", out)
+	}
+	m := regexp.MustCompile(`feed-layer gas:\s+(\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("feed gas missing:\n%s", out)
+	}
+	gas, _ := strconv.Atoi(m[1])
+	// ~15 header writes plus two 6-header SPV reads.
+	if gas < 100_000 || gas > 100_000_000 {
+		t.Errorf("feed-layer gas = %d, outside sane range", gas)
+	}
+}

@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"grub/internal/ads"
 	"grub/internal/chain"
@@ -18,6 +20,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A simulated Ethereum-like chain with the paper's Table 2 Gas
 	// schedule, and a GRuB feed using the memoryless decision algorithm
 	// with Equation 1's K=2.
@@ -33,28 +41,29 @@ func main() {
 	// yet, so this goes: request event -> SP watchdog -> deliver tx with
 	// a Merkle proof -> on-chain verification -> callback.
 	if err := feed.Read("ETH-USD"); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("first read (off-chain, authenticated): %s\n", feed.LastValue["ETH-USD"])
+	fmt.Fprintf(w, "first read (off-chain, authenticated): %s\n", feed.LastValue["ETH-USD"])
 
 	// Read twice more: the memoryless policy promotes the record to R
 	// after K=2 consecutive reads, and the actuator replicates it on
 	// chain at the next epoch boundary.
 	for i := 0; i < 2; i++ {
 		if err := feed.Read("ETH-USD"); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	feed.FlushEpoch()
 	rec, _ := feed.DO.Set().Get("ETH-USD")
-	fmt.Printf("after %d reads the record is %s (replicated: %v)\n", 3, rec.State, rec.State == ads.R)
+	fmt.Fprintf(w, "after %d reads the record is %s (replicated: %v)\n", 3, rec.State, rec.State == ads.R)
 
 	// Replicated reads are now served from contract storage: compare the
 	// Gas of one more read against the first one.
 	before := feed.FeedGas()
 	if err := feed.Read("ETH-USD"); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("replicated read cost: %d gas (an off-chain read costs >21000)\n", feed.FeedGas()-before)
-	fmt.Printf("total feed gas: %d, chain height: %d\n", feed.FeedGas(), c.Height())
+	fmt.Fprintf(w, "replicated read cost: %d gas (an off-chain read costs >21000)\n", feed.FeedGas()-before)
+	fmt.Fprintf(w, "total feed gas: %d, chain height: %d\n", feed.FeedGas(), c.Height())
+	return nil
 }

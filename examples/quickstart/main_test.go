@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+func TestQuickstart(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("first read (off-chain, authenticated): 2150.75")) {
+		t.Errorf("first read value missing:\n%s", out)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("replicated: true")) {
+		t.Errorf("record never replicated:\n%s", out)
+	}
+	m := regexp.MustCompile(`total feed gas: (\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("gas total missing:\n%s", out)
+	}
+	gas, _ := strconv.Atoi(m[1])
+	// One update plus a handful of reads: well above the 21000 base tx
+	// cost, nowhere near a million.
+	if gas < 21000 || gas > 2_000_000 {
+		t.Errorf("total feed gas = %d, outside sane range", gas)
+	}
+}

@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"grub/internal/apps/scoin"
 	"grub/internal/chain"
@@ -21,6 +23,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	c := chain.NewDefault()
 	feed := core.NewFeed(c, policy.NewMemoryless(1), core.Options{EpochOps: 8})
 	issuer := scoin.New(c, "scoin-issuer", "grub-manager", "ETH")
@@ -52,23 +60,24 @@ func main() {
 		}
 		issueNext = !issueNext
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	feed.FlushEpoch()
 
 	supply, err := c.View(issuer.Token().Address(), "totalSupply", nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	bal, err := c.View(issuer.Token().Address(), "balanceOf", chain.Address("alice"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("final ETH price:        $%d.%02d\n", price/100, price%100)
-	fmt.Printf("SCoin issued/redeemed:  %d / %d\n", issuer.Issued, issuer.Redeemed)
-	fmt.Printf("alice's SCoin balance:  %v\n", bal)
-	fmt.Printf("total SCoin supply:     %v\n", supply)
-	fmt.Printf("feed-layer gas:         %d\n", feed.FeedGas())
-	fmt.Printf("SCoinIssuer gas:        %d\n", c.GasOf("scoin-issuer")+c.GasOf(issuer.Token().Address()))
+	fmt.Fprintf(w, "final ETH price:        $%d.%02d\n", price/100, price%100)
+	fmt.Fprintf(w, "SCoin issued/redeemed:  %d / %d\n", issuer.Issued, issuer.Redeemed)
+	fmt.Fprintf(w, "alice's SCoin balance:  %v\n", bal)
+	fmt.Fprintf(w, "total SCoin supply:     %v\n", supply)
+	fmt.Fprintf(w, "feed-layer gas:         %d\n", feed.FeedGas())
+	fmt.Fprintf(w, "SCoinIssuer gas:        %d\n", c.GasOf("scoin-issuer")+c.GasOf(issuer.Token().Address()))
+	return nil
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+func TestStablecoin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	issued := regexp.MustCompile(`SCoin issued/redeemed:\s+(\d+) / (\d+)`).FindStringSubmatch(out)
+	if issued == nil {
+		t.Fatalf("issue/redeem line missing:\n%s", out)
+	}
+	if n, _ := strconv.Atoi(issued[1]); n == 0 {
+		t.Error("no SCoin ever issued")
+	}
+	for _, want := range []string{"final ETH price:", "alice's SCoin balance:", "total SCoin supply:"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("%q missing:\n%s", want, out)
+		}
+	}
+	m := regexp.MustCompile(`feed-layer gas:\s+(\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("feed gas missing:\n%s", out)
+	}
+	gas, _ := strconv.Atoi(m[1])
+	if gas < 21000 || gas > 1_000_000_000 {
+		t.Errorf("feed-layer gas = %d, outside sane range", gas)
+	}
+}

@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"grub/internal/chain"
 	"grub/internal/core"
@@ -19,6 +21,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	c := chain.NewDefault()
 	feed := core.NewFeed(c, policy.NewMemoryless(2), core.Options{EpochOps: 16})
 
@@ -35,21 +43,22 @@ func main() {
 		feed.DO.StageWrite(core.KV{Key: op.Key, Value: op.Value})
 	}
 	feed.FlushEpoch()
-	fmt.Printf("preloaded %d records; running 4 YCSB phases (A,B,A,B)\n\n", records)
+	fmt.Fprintf(w, "preloaded %d records; running 4 YCSB phases (A,B,A,B)\n\n", records)
 
 	for pi, trace := range phaseTraces {
 		series, err := feed.ProcessSeries(trace)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var sum float64
 		for _, s := range series {
 			sum += s.GasPerOp()
 		}
-		fmt.Printf("phase P%d (%s): avg gas/op %8.0f over %d epochs\n",
+		fmt.Fprintf(w, "phase P%d (%s): avg gas/op %8.0f over %d epochs\n",
 			pi+1, phases[pi].Spec.Name, sum/float64(len(series)), len(series))
 		feed.FlushEpoch()
 	}
-	fmt.Printf("\ndelivered=%d notFound=%d totalFeedGas=%d\n",
+	fmt.Fprintf(w, "\ndelivered=%d notFound=%d totalFeedGas=%d\n",
 		feed.Delivered(), feed.NotFound(), feed.FeedGas())
+	return nil
 }

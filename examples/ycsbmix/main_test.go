@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+func TestYCSBMix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, phase := range []string{"phase P1 (A)", "phase P2 (B)", "phase P3 (A)", "phase P4 (B)"} {
+		if !bytes.Contains(buf.Bytes(), []byte(phase)) {
+			t.Errorf("%s missing:\n%s", phase, out)
+		}
+	}
+	m := regexp.MustCompile(`delivered=(\d+) notFound=(\d+) totalFeedGas=(\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+	delivered, _ := strconv.Atoi(m[1])
+	gas, _ := strconv.Atoi(m[3])
+	if delivered == 0 {
+		t.Error("no reads delivered")
+	}
+	// 512 preloaded records plus ~768 YCSB ops: the feed-layer gas must be
+	// substantial but bounded.
+	if gas < 1_000_000 || gas > 5_000_000_000 {
+		t.Errorf("totalFeedGas = %d, outside sane range", gas)
+	}
+}

@@ -1,0 +1,3 @@
+module grub
+
+go 1.24

@@ -87,6 +87,7 @@ var Registry = []Experiment{
 	{ID: "fig14", Title: "Gas under YCSB with varying K", Run: RunFig14},
 	{ID: "fig15", Title: "Adaptive-K policies under ethPriceOracle (time series)", Run: RunFig15},
 	{ID: "table5", Title: "Aggregated Gas under ethPriceOracle (static vs adaptive K)", Run: RunTable5},
+	{ID: "gateway", Title: "Concurrent multi-feed gateway throughput (ops/sec, gas/op)", Run: RunGateway},
 }
 
 // ByID resolves an experiment.

@@ -28,11 +28,13 @@ func runSmoke(t *testing.T, id string) string {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	// Every table and figure of the evaluation must have a runner.
+	// Every table and figure of the evaluation must have a runner, plus
+	// the serving-layer gateway benchmark.
 	want := []string{
 		"table1", "fig2", "fig3", "fig5", "table3", "fig6", "table6",
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
+		"gateway",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -41,6 +43,30 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(Registry) != len(want) {
 		t.Errorf("registry has %d experiments, want %d", len(Registry), len(want))
+	}
+}
+
+// TestRegistryGolden guards the registry as experiments are added: every
+// registered experiment must run at tiny scale without error and emit
+// non-empty output through its ByID handle.
+func TestRegistryGolden(t *testing.T) {
+	for _, exp := range Registry {
+		t.Run(exp.ID, func(t *testing.T) {
+			e, err := ByID(exp.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Title == "" {
+				t.Error("experiment has no title")
+			}
+			var buf bytes.Buffer
+			if err := e.Run(Config{W: &buf, Scale: 0.02, Seed: 11}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
 	}
 }
 

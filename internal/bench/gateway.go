@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"grub/internal/server"
+	"grub/internal/workload/ycsb"
+)
+
+// RunGateway measures the concurrent multi-feed gateway: it brings up the
+// full HTTP stack on loopback, creates a fleet of feeds, preloads a YCSB key
+// space into each and hammers them from concurrent clients with mixed
+// read/write batches (workload A). Unlike the paper experiments this one
+// reports wall-clock throughput alongside Gas — it is the serving-layer
+// benchmark the roadmap's production goal asks for, not a figure
+// reproduction.
+func RunGateway(cfg Config) error {
+	cfg = cfg.withDefaults()
+	spec := server.LoadSpec{
+		Prefix:   "feed",
+		Feeds:    cfg.scaled(8, 2),
+		Clients:  cfg.scaled(32, 4),
+		Batches:  cfg.scaled(8, 2),
+		BatchOps: 16,
+		Records:  cfg.scaled(64, 8),
+		Workload: ycsb.WorkloadA,
+		Policy:   "memoryless",
+		K:        2,
+		EpochOps: 8,
+		Seed:     cfg.Seed,
+	}
+
+	url, shutdown, err := server.StartLocal()
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	fmt.Fprintf(cfg.W, "gateway: %d feeds, %d clients x %d batches x %d ops (YCSB-A, %d records/feed)\n",
+		spec.Feeds, spec.Clients, spec.Batches, spec.BatchOps, spec.Records)
+	res, err := server.RunLoad(server.NewClient(url), spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(cfg.W, "\n%-8s %10s %10s %12s %10s %10s\n",
+		"feed", "ops", "batches", "gas/op", "replicas", "delivered")
+	for _, st := range res.Stats {
+		fmt.Fprintf(cfg.W, "%-8s %10d %10d %12.0f %10d %10d\n",
+			st.ID, st.Ops, st.Batches, st.GasPerOp, st.Feed.Replicated, st.Feed.Delivered)
+	}
+	fmt.Fprintf(cfg.W, "\nthroughput: %d load ops in %v -> %.0f ops/sec\n",
+		res.LoadOps, res.Elapsed.Round(time.Millisecond), res.OpsPerSec())
+	fmt.Fprintf(cfg.W, "aggregate feed Gas per op: %.0f\n", res.AvgGasPerOp())
+	return nil
+}

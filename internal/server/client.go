@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client talks to a gateway over its HTTP/JSON API. The zero HTTP client is
+// usable; BaseURL is required ("http://host:port", no trailing slash).
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for a gateway at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call performs one JSON round-trip. out may be nil.
+func (c *Client) call(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e errorBody
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		// Drain so the transport can reuse the connection.
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateFeed creates a feed on the gateway.
+func (c *Client) CreateFeed(cfg FeedConfig) error {
+	return c.call(http.MethodPost, "/feeds", cfg, nil)
+}
+
+// Feeds lists feed IDs.
+func (c *Client) Feeds() ([]string, error) {
+	var out struct {
+		Feeds []string `json:"feeds"`
+	}
+	if err := c.call(http.MethodGet, "/feeds", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Feeds, nil
+}
+
+// Do executes a batch of ops against one feed.
+func (c *Client) Do(id string, ops []Op) ([]OpResult, error) {
+	var out BatchResponse
+	if err := c.call(http.MethodPost, "/feeds/"+id+"/ops", BatchRequest{Ops: ops}, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Stats fetches one feed's counters.
+func (c *Client) Stats(id string) (Stats, error) {
+	var out Stats
+	if err := c.call(http.MethodGet, "/feeds/"+id+"/stats", nil, &out); err != nil {
+		return Stats{}, err
+	}
+	return out, nil
+}
+
+// Trace fetches the serialized op order (feeds created with RecordTrace).
+func (c *Client) Trace(id string) ([]Op, error) {
+	var out BatchRequest
+	if err := c.call(http.MethodGet, "/feeds/"+id+"/trace", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Ops, nil
+}
+
+// CloseFeed closes a feed.
+func (c *Client) CloseFeed(id string) error {
+	return c.call(http.MethodDelete, "/feeds/"+id, nil, nil)
+}

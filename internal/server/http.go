@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// BatchRequest is the body of POST /feeds/{id}/ops.
+type BatchRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// BatchResponse answers it.
+type BatchResponse struct {
+	Results []OpResult `json:"results"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownFeed):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrFeedExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadConfig):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// NewHandler exposes a gateway over HTTP/JSON.
+func NewHandler(g *Gateway) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /feeds", func(w http.ResponseWriter, r *http.Request) {
+		var cfg FeedConfig
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode: %v", err)})
+			return
+		}
+		if err := g.CreateFeed(cfg); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": cfg.ID})
+	})
+
+	mux.HandleFunc("GET /feeds", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"feeds": g.Feeds()})
+	})
+
+	mux.HandleFunc("POST /feeds/{id}/ops", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode: %v", err)})
+			return
+		}
+		results, err := g.Do(r.PathValue("id"), req.Ops)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	})
+
+	mux.HandleFunc("GET /feeds/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := g.Stats(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /feeds/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		trace, err := g.Trace(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchRequest{Ops: trace})
+	})
+
+	mux.HandleFunc("DELETE /feeds/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := g.CloseFeed(r.PathValue("id")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"closed": r.PathValue("id")})
+	})
+
+	return mux
+}

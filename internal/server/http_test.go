@@ -1,0 +1,248 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"grub/internal/workload/ycsb"
+)
+
+// TestHTTPEndpoints exercises every route and its error paths.
+func TestHTTPEndpoints(t *testing.T) {
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if err := c.CreateFeed(FeedConfig{ID: "f1", EpochOps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateFeed(FeedConfig{ID: "f1"}); err == nil {
+		t.Error("duplicate create succeeded over HTTP")
+	}
+	if err := c.CreateFeed(FeedConfig{ID: "f2", Policy: "bogus"}); err == nil {
+		t.Error("bad policy accepted over HTTP")
+	}
+	ids, err := c.Feeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "f1" {
+		t.Errorf("feeds = %v, want [f1]", ids)
+	}
+
+	results, err := c.Do("f1", []Op{
+		{Type: "write", Key: "k", Value: []byte("hello")},
+		{Type: "read", Key: "k"},
+		{Type: "read", Key: "k"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EpochOps=4: the first read ticks the epoch over only after 4 ops, so
+	// it is served off the previous (empty) digest — proven absence — and
+	// the value becomes visible once the write's epoch flushes.
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if _, err := c.Do("ghost", nil); err == nil {
+		t.Error("Do on unknown feed succeeded over HTTP")
+	}
+
+	st, err := c.Stats("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 3 || st.Feed.FeedGas == 0 {
+		t.Errorf("stats = %+v, want 3 ops and nonzero gas", st)
+	}
+	if _, err := c.Stats("ghost"); err == nil {
+		t.Error("Stats on unknown feed succeeded over HTTP")
+	}
+
+	if err := c.CloseFeed("f1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseFeed("f1"); err == nil {
+		t.Error("double close succeeded over HTTP")
+	}
+}
+
+// TestGatewayConcurrentEquivalence is the race-clean integration test: a
+// gateway under httptest hosts 8 feeds driven by 32 concurrent HTTP clients
+// issuing mixed read/write batches (YCSB A). Afterwards, each feed's
+// recorded serialized op order is replayed through an identically-configured
+// single-threaded core.Feed, and the per-feed stats — gas, gas/op, delivered
+// and notFound counts, chain height, replication state — must match exactly.
+// Run under -race this doubles as the data-race check on the whole stack.
+func TestGatewayConcurrentEquivalence(t *testing.T) {
+	const (
+		feeds          = 8
+		clients        = 32 // 4 per feed
+		batchesPerClnt = 4
+		opsPerBatch    = 8
+		records        = 24
+	)
+	cfg := func(i int) FeedConfig {
+		return FeedConfig{
+			ID:          fmt.Sprintf("feed%d", i),
+			Policy:      "memoryless",
+			K:           2,
+			EpochOps:    8,
+			RecordTrace: true,
+		}
+	}
+
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	// Create and preload every feed with the shared YCSB key space.
+	preload := FromWorkload(ycsb.NewDriver(ycsb.WorkloadA, records, 32, 1).Preload())
+	for i := 0; i < feeds; i++ {
+		if err := c.CreateFeed(cfg(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Do(cfg(i).ID, preload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 32 clients, each bound to one feed, each replaying its own
+	// deterministic YCSB-A trace in batches. Batches from the 4 clients of
+	// one feed interleave nondeterministically; the feed worker serializes
+	// them into *some* total order and records it.
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := NewClient(srv.URL)
+			id := cfg(ci % feeds).ID
+			d := ycsb.NewDriver(ycsb.WorkloadA, records, 32, uint64(1000+ci))
+			for b := 0; b < batchesPerClnt; b++ {
+				batch := FromWorkload(d.Generate(opsPerBatch))
+				results, err := cl.Do(id, batch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, res := range results {
+					if res.Err != "" {
+						errs <- fmt.Errorf("op %q on %s: %s", res.Key, id, res.Err)
+						return
+					}
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Equivalence: replay each feed's serialized order single-threaded and
+	// compare the full stats snapshot.
+	for i := 0; i < feeds; i++ {
+		id := cfg(i).ID
+		got, err := c.Stats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := c.Trace(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOps := len(preload) + (clients/feeds)*batchesPerClnt*opsPerBatch
+		if len(trace) != wantOps {
+			t.Errorf("%s: trace has %d ops, want %d", id, len(trace), wantOps)
+		}
+		if got.Ops != wantOps {
+			t.Errorf("%s: stats.Ops = %d, want %d", id, got.Ops, wantOps)
+		}
+
+		ref, err := NewFeed(cfg(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := ref.FeedGas()
+		ApplyOps(ref, trace)
+		want := ref.Stats()
+		if got.Feed != want {
+			t.Errorf("%s: gateway stats diverge from single-threaded replay:\n got %+v\nwant %+v", id, got.Feed, want)
+		}
+		wantGasPerOp := float64(want.FeedGas-base) / float64(wantOps)
+		if got.GasPerOp != wantGasPerOp {
+			t.Errorf("%s: gas/op = %v, want %v", id, got.GasPerOp, wantGasPerOp)
+		}
+		if got.Feed.Delivered == 0 {
+			t.Errorf("%s: no reads delivered — workload did not exercise the feed", id)
+		}
+	}
+}
+
+// BenchmarkGateway measures batched throughput through the full HTTP stack:
+// one feed per available worker slot, concurrent clients, YCSB-A batches.
+// It reports ops/sec (the inverse of ns/op via b.N) and gas/op.
+func BenchmarkGateway(b *testing.B) {
+	const (
+		feeds       = 4
+		opsPerBatch = 16
+		records     = 32
+	)
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	for i := 0; i < feeds; i++ {
+		id := fmt.Sprintf("feed%d", i)
+		if err := c.CreateFeed(FeedConfig{ID: id, EpochOps: 8}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Do(id, FromWorkload(ycsb.NewDriver(ycsb.WorkloadA, records, 32, 1).Preload())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mu sync.Mutex
+	next := 0
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		ci := next
+		next++
+		mu.Unlock()
+		cl := NewClient(srv.URL)
+		id := fmt.Sprintf("feed%d", ci%feeds)
+		d := ycsb.NewDriver(ycsb.WorkloadA, records, 32, uint64(100+ci))
+		for pb.Next() {
+			if _, err := cl.Do(id, FromWorkload(d.Generate(opsPerBatch))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	var totalGas float64
+	var totalOps int
+	for i := 0; i < feeds; i++ {
+		st, err := c.Stats(fmt.Sprintf("feed%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalGas += st.GasPerOp * float64(st.Ops)
+		totalOps += st.Ops
+	}
+	if totalOps > 0 {
+		b.ReportMetric(totalGas/float64(totalOps), "gas/op")
+		b.ReportMetric(float64(totalOps)/b.Elapsed().Seconds(), "ops/sec")
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"grub/internal/workload/ycsb"
+)
+
+func TestRunLoadValidation(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0") // never dialed: validation fails first
+	for _, spec := range []LoadSpec{
+		{Feeds: 0, Clients: 4, Batches: 1, BatchOps: 1, Records: 1, Workload: ycsb.WorkloadA},
+		{Feeds: 2, Clients: -1, Batches: 1, BatchOps: 1, Records: 1, Workload: ycsb.WorkloadA},
+		{Feeds: 2, Clients: 4, Batches: 0, BatchOps: 1, Records: 1, Workload: ycsb.WorkloadA},
+		{Feeds: 2, Clients: 4, Batches: 1, BatchOps: 0, Records: 1, Workload: ycsb.WorkloadA},
+		{Feeds: 2, Clients: 4, Batches: 1, BatchOps: 1, Records: 0, Workload: ycsb.WorkloadA},
+	} {
+		if _, err := RunLoad(c, spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestRunLoadCleansUpFeeds(t *testing.T) {
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	spec := LoadSpec{
+		Feeds: 2, Clients: 4, Batches: 2, BatchOps: 4, Records: 8,
+		Workload: ycsb.WorkloadB, EpochOps: 4,
+	}
+	for run := 0; run < 2; run++ { // second run must not collide
+		res, err := RunLoad(c, spec)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if want := spec.Clients * spec.Batches * spec.BatchOps; res.LoadOps != want {
+			t.Errorf("run %d: LoadOps = %d, want %d", run, res.LoadOps, want)
+		}
+		if len(res.Stats) != spec.Feeds {
+			t.Errorf("run %d: %d stats entries, want %d", run, len(res.Stats), spec.Feeds)
+		}
+	}
+	if ids := g.Feeds(); len(ids) != 0 {
+		t.Errorf("feeds left behind after load runs: %v", ids)
+	}
+}
+
+// TestErrStatusNotFooledByFeedID: status mapping must classify by sentinel,
+// not by matching phrases that a feed ID can smuggle into the message.
+func TestErrStatusNotFooledByFeedID(t *testing.T) {
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+	id := `unknown feed x`
+	if err := NewClient(srv.URL).CreateFeed(FeedConfig{ID: id}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/feeds", "application/json",
+		strings.NewReader(`{"id":"unknown feed x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create of %q returned %d, want 409", id, resp.StatusCode)
+	}
+}

@@ -1,0 +1,382 @@
+// Package server implements the multi-tenant GRuB feed gateway: many named
+// core.Feed instances hosted in one process, each owned by a dedicated
+// worker goroutine fed through a mailbox channel. A feed's DO, SP and
+// simulated chain are single-writer state; sharding by feed makes the whole
+// gateway race-free by construction — concurrency happens *between* feeds
+// and at the HTTP layer, never inside one.
+//
+// The package exposes both a Go API (Gateway, for embedding) and an
+// HTTP/JSON API (NewHandler + Client, served by cmd/grubd):
+//
+//	POST   /feeds            create a feed from a FeedConfig
+//	GET    /feeds            list feed IDs
+//	POST   /feeds/{id}/ops   execute a batch of read/write/scan ops
+//	GET    /feeds/{id}/stats gas counters and replication state
+//	GET    /feeds/{id}/trace serialized op order (when RecordTrace is set)
+//	DELETE /feeds/{id}       close a feed
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"grub/internal/chain"
+	"grub/internal/core"
+	"grub/internal/gas"
+	"grub/internal/policy"
+	"grub/internal/sim"
+	"grub/internal/workload"
+)
+
+// Sentinel errors. The HTTP layer maps them to status codes with errors.Is,
+// so classification never depends on the text of a user-supplied feed ID.
+var (
+	// ErrUnknownFeed: the named feed does not exist (or was closed).
+	ErrUnknownFeed = errors.New("unknown feed")
+	// ErrFeedExists: a feed with that ID already exists.
+	ErrFeedExists = errors.New("feed already exists")
+	// ErrBadConfig: the feed config or request is invalid.
+	ErrBadConfig = errors.New("bad config")
+	// ErrClosed: the gateway is shut down.
+	ErrClosed = errors.New("gateway closed")
+)
+
+// Op is one operation in a batch. Type is "read", "write" or "scan".
+type Op struct {
+	Type    string `json:"type"`
+	Key     string `json:"key"`
+	Value   []byte `json:"value,omitempty"`
+	ScanLen int    `json:"scanLen,omitempty"`
+}
+
+// OpResult reports one executed operation. Found is meaningful for reads: it
+// distinguishes a delivered value from a proven absence.
+type OpResult struct {
+	Key   string `json:"key"`
+	Found bool   `json:"found,omitempty"`
+	Value []byte `json:"value,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// FeedConfig describes a feed to create.
+type FeedConfig struct {
+	ID string `json:"id"`
+	// Policy selects the replication decision algorithm: "memoryless"
+	// (default), "memorizing", "bl1" (never replicate) or "bl2" (always).
+	Policy string `json:"policy,omitempty"`
+	// K is the policy parameter of Equation 1 (default 2).
+	K int `json:"k,omitempty"`
+	// EpochOps, MaxReplicas and DeferPromotions mirror core.Options.
+	EpochOps        int  `json:"epochOps,omitempty"`
+	MaxReplicas     int  `json:"maxReplicas,omitempty"`
+	DeferPromotions bool `json:"deferPromotions,omitempty"`
+	// RecordTrace keeps the serialized op order in memory so it can be
+	// fetched from /feeds/{id}/trace and replayed single-threaded (the
+	// equivalence tests do exactly that). Off by default: the trace grows
+	// without bound.
+	RecordTrace bool `json:"recordTrace,omitempty"`
+}
+
+// NewFeed builds the feed a config describes, on a fresh simulated chain.
+// The gateway workers use it; single-threaded replays (tests, the bench
+// equivalence check) use it to build the reference feed the same way.
+func NewFeed(cfg FeedConfig) (*core.Feed, error) {
+	k := cfg.K
+	if k <= 0 {
+		k = 2
+	}
+	var pol policy.Policy
+	noADS := false
+	switch cfg.Policy {
+	case "", "memoryless":
+		pol = policy.NewMemoryless(k)
+	case "memorizing":
+		pol = policy.NewMemorizing(k, 1)
+	case "bl1", "never":
+		pol = policy.Never{}
+	case "bl2", "always":
+		pol = policy.Always{}
+		noADS = true
+	default:
+		return nil, fmt.Errorf("server: %w: unknown policy %q", ErrBadConfig, cfg.Policy)
+	}
+	c := chain.New(sim.NewClock(0), chain.DefaultParams(), gas.DefaultSchedule())
+	opts := core.Options{
+		EpochOps:        cfg.EpochOps,
+		MaxReplicas:     cfg.MaxReplicas,
+		DeferPromotions: cfg.DeferPromotions,
+		NoADS:           noADS,
+	}
+	return core.NewFeed(c, pol, opts), nil
+}
+
+// Stats is the gateway's per-feed report: the feed snapshot plus the
+// gateway-level op accounting it needs to express gas/op.
+type Stats struct {
+	ID      string         `json:"id"`
+	Ops     int            `json:"ops"`
+	Batches int            `json:"batches"`
+	Feed    core.FeedStats `json:"feed"`
+	// GasPerOp is feed-layer Gas net of genesis divided by executed ops.
+	GasPerOp float64 `json:"gasPerOp"`
+}
+
+// ApplyOps executes a batch against a feed, in order, and returns per-op
+// results. It is the single execution path shared by the gateway workers and
+// by sequential replays, so a concurrent gateway run and a single-threaded
+// replay of the same serialized op order produce identical state and Gas.
+func ApplyOps(f *core.Feed, ops []Op) []OpResult {
+	out := make([]OpResult, len(ops))
+	for i, op := range ops {
+		out[i] = applyOp(f, op)
+	}
+	return out
+}
+
+func applyOp(f *core.Feed, op Op) OpResult {
+	res := OpResult{Key: op.Key}
+	switch op.Type {
+	case "write":
+		f.Write(core.KV{Key: op.Key, Value: op.Value})
+		res.Found = true
+	case "read":
+		before := f.Delivered()
+		if err := f.Read(op.Key); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		if f.Delivered() > before {
+			res.Found = true
+			res.Value = append([]byte(nil), f.LastValue[op.Key]...)
+		}
+	case "scan":
+		n := op.ScanLen
+		if n < 1 {
+			n = 1
+		}
+		if err := f.Process([]workload.Op{workload.Scan(op.Key, n)}); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Found = true
+	default:
+		res.Err = fmt.Sprintf("unknown op type %q", op.Type)
+	}
+	return res
+}
+
+// FromWorkload converts a workload trace into gateway ops (the load driver
+// and the gateway benchmark replay YCSB traces through this).
+func FromWorkload(ops []workload.Op) []Op {
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		switch {
+		case op.Write:
+			out[i] = Op{Type: "write", Key: op.Key, Value: op.Value}
+		case op.ScanLen > 0:
+			out[i] = Op{Type: "scan", Key: op.Key, ScanLen: op.ScanLen}
+		default:
+			out[i] = Op{Type: "read", Key: op.Key}
+		}
+	}
+	return out
+}
+
+// request kinds understood by a feed worker.
+type reqKind int
+
+const (
+	reqOps reqKind = iota
+	reqStats
+	reqTrace
+	reqStop
+)
+
+type request struct {
+	kind reqKind
+	ops  []Op
+	resp chan response
+}
+
+type response struct {
+	results []OpResult
+	stats   Stats
+	trace   []Op
+}
+
+// feedWorker owns one feed. Only its goroutine touches the feed; everyone
+// else talks through the mailbox.
+type feedWorker struct {
+	id   string
+	mail chan request
+	done chan struct{}
+}
+
+func (w *feedWorker) loop(f *core.Feed, recordTrace bool) {
+	defer close(w.done)
+	base := f.FeedGas() // genesis digest cost, excluded from gas/op
+	ops, batches := 0, 0
+	var trace []Op
+	for req := range w.mail {
+		switch req.kind {
+		case reqStop:
+			req.resp <- response{}
+			return
+		case reqStats:
+			st := Stats{ID: w.id, Ops: ops, Batches: batches, Feed: f.Stats()}
+			if ops > 0 {
+				st.GasPerOp = float64(st.Feed.FeedGas-base) / float64(ops)
+			}
+			req.resp <- response{stats: st}
+		case reqTrace:
+			cp := make([]Op, len(trace))
+			copy(cp, trace)
+			req.resp <- response{trace: cp}
+		default:
+			results := ApplyOps(f, req.ops)
+			ops += len(req.ops)
+			batches++
+			if recordTrace {
+				trace = append(trace, req.ops...)
+			}
+			req.resp <- response{results: results}
+		}
+	}
+}
+
+// Gateway hosts many feeds and routes batches to their workers. All methods
+// are safe for concurrent use.
+type Gateway struct {
+	mu     sync.RWMutex
+	feeds  map[string]*feedWorker
+	closed bool
+}
+
+// NewGateway returns an empty gateway.
+func NewGateway() *Gateway {
+	return &Gateway{feeds: make(map[string]*feedWorker)}
+}
+
+// CreateFeed builds the feed cfg describes and starts its worker.
+func (g *Gateway) CreateFeed(cfg FeedConfig) error {
+	if cfg.ID == "" {
+		return fmt.Errorf("server: %w: feed id required", ErrBadConfig)
+	}
+	f, err := NewFeed(cfg)
+	if err != nil {
+		return err
+	}
+	w := &feedWorker{id: cfg.ID, mail: make(chan request), done: make(chan struct{})}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("server: %w", ErrClosed)
+	}
+	if _, ok := g.feeds[cfg.ID]; ok {
+		return fmt.Errorf("server: %w: %q", ErrFeedExists, cfg.ID)
+	}
+	g.feeds[cfg.ID] = w
+	go w.loop(f, cfg.RecordTrace)
+	return nil
+}
+
+// Feeds lists feed IDs, sorted.
+func (g *Gateway) Feeds() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]string, 0, len(g.feeds))
+	for id := range g.feeds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// send routes one request to a feed's worker and waits for the response.
+func (g *Gateway) send(id string, req request) (response, error) {
+	g.mu.RLock()
+	w, ok := g.feeds[id]
+	g.mu.RUnlock()
+	if !ok {
+		return response{}, fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
+	}
+	select {
+	case w.mail <- req:
+	case <-w.done:
+		return response{}, fmt.Errorf("server: %w: %q (closed)", ErrUnknownFeed, id)
+	}
+	select {
+	case r := <-req.resp:
+		return r, nil
+	case <-w.done:
+		return response{}, fmt.Errorf("server: %w: %q (closed)", ErrUnknownFeed, id)
+	}
+}
+
+// Do executes a batch of ops against one feed. The batch runs atomically
+// with respect to other batches on the same feed (the worker serializes);
+// batches on different feeds run in parallel.
+func (g *Gateway) Do(id string, ops []Op) ([]OpResult, error) {
+	r, err := g.send(id, request{kind: reqOps, ops: ops, resp: make(chan response, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return r.results, nil
+}
+
+// Stats snapshots one feed's counters.
+func (g *Gateway) Stats(id string) (Stats, error) {
+	r, err := g.send(id, request{kind: reqStats, resp: make(chan response, 1)})
+	if err != nil {
+		return Stats{}, err
+	}
+	return r.stats, nil
+}
+
+// Trace returns the serialized op order executed so far. It is empty unless
+// the feed was created with RecordTrace.
+func (g *Gateway) Trace(id string) ([]Op, error) {
+	r, err := g.send(id, request{kind: reqTrace, resp: make(chan response, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return r.trace, nil
+}
+
+// CloseFeed stops a feed's worker and forgets it.
+func (g *Gateway) CloseFeed(id string) error {
+	g.mu.Lock()
+	w, ok := g.feeds[id]
+	delete(g.feeds, id)
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
+	}
+	select {
+	case w.mail <- request{kind: reqStop, resp: make(chan response, 1)}:
+	case <-w.done:
+	}
+	<-w.done
+	return nil
+}
+
+// Close stops every worker. The gateway accepts no new feeds afterwards.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	g.closed = true
+	workers := make([]*feedWorker, 0, len(g.feeds))
+	for id, w := range g.feeds {
+		workers = append(workers, w)
+		delete(g.feeds, id)
+	}
+	g.mu.Unlock()
+	for _, w := range workers {
+		select {
+		case w.mail <- request{kind: reqStop, resp: make(chan response, 1)}:
+		case <-w.done:
+		}
+		<-w.done
+	}
+}
