@@ -16,13 +16,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# One fast pass over every registered experiment (including the concurrent
-# gateway benchmark) at reduced scale.
+# One fast pass over every registered experiment (including the gateway and
+# shard serving benchmarks) at reduced scale, writing the machine-readable
+# per-experiment metrics to BENCH_smoke.json (uploaded as a CI artifact).
+# Registry sanity is already covered by TestRegistryGolden under `make race`.
 bench-smoke:
-	$(GO) test -run TestRegistryGolden ./internal/bench
-	$(GO) run ./cmd/grubbench -run gateway -scale 0.1
+	$(GO) run ./cmd/grubbench -all -scale 0.05 -json BENCH_smoke.json
 
 check: build vet race bench-smoke
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_smoke.json

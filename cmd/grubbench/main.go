@@ -1,14 +1,21 @@
 // Command grubbench runs the paper-reproduction experiments: one per table
-// and figure of the GRuB evaluation.
+// and figure of the GRuB evaluation, plus the serving-layer benchmarks
+// (gateway, shard).
+//
+// With -json the per-experiment metrics (elapsed seconds and, where the
+// experiment measures them, ops/sec and gas/op) are also written to a JSON
+// file; `make bench-smoke` uses this to produce BENCH_smoke.json and the CI
+// uploads it as an artifact, so the perf trajectory is tracked per PR.
 //
 // Usage:
 //
 //	grubbench -list
 //	grubbench -run fig7 [-scale 0.25] [-seed 42]
-//	grubbench -all [-scale 0.1]
+//	grubbench -all [-scale 0.1] [-json BENCH_smoke.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,21 @@ func main() {
 	}
 }
 
+// expReport is one experiment's entry in the -json output.
+type expReport struct {
+	ID         string             `json:"id"`
+	Title      string             `json:"title"`
+	ElapsedSec float64            `json:"elapsedSec"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the -json file shape.
+type benchReport struct {
+	Scale       float64     `json:"scale"`
+	Seed        uint64      `json:"seed"`
+	Experiments []expReport `json:"experiments"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("grubbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiments and exit")
@@ -31,6 +53,7 @@ func run(args []string) error {
 	all := fs.Bool("all", false, "run every experiment")
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper scale)")
 	seed := fs.Uint64("seed", 42, "trace seed")
+	jsonPath := fs.String("json", "", "also write per-experiment metrics JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,25 +63,48 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := bench.Config{W: os.Stdout, Scale: *scale, Seed: *seed}
-	if *all {
-		for _, e := range bench.Registry {
-			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-			start := time.Now()
-			if err := e.Run(cfg); err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
-			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+
+	var exps []bench.Experiment
+	switch {
+	case *all:
+		exps = bench.Registry
+	case *id != "":
+		e, err := bench.ByID(*id)
+		if err != nil {
+			return err
 		}
-		return nil
-	}
-	if *id == "" {
+		exps = []bench.Experiment{e}
+	default:
 		return fmt.Errorf("nothing to do: pass -list, -run <id> or -all")
 	}
-	e, err := bench.ByID(*id)
-	if err != nil {
-		return err
+
+	report := benchReport{Scale: *scale, Seed: *seed}
+	for _, e := range exps {
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		rep := expReport{ID: e.ID, Title: e.Title, Metrics: map[string]float64{}}
+		cfg := bench.Config{
+			W: os.Stdout, Scale: *scale, Seed: *seed,
+			Metric: func(name string, v float64) { rep.Metrics[name] = v },
+		}
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		elapsed := time.Since(start)
+		rep.ElapsedSec = elapsed.Seconds()
+		report.Experiments = append(report.Experiments, rep)
+		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
 	}
-	fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-	return e.Run(cfg)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(report.Experiments))
+	}
+	return nil
 }

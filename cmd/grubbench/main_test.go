@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -11,6 +16,33 @@ func TestList(t *testing.T) {
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-run", "table1", "-scale", "0.05"}); err != nil {
 		t.Fatalf("-run table1: %v", err)
+	}
+}
+
+// TestJSONReport runs the serving benchmarks with -json and checks the
+// report carries the throughput metrics the CI artifact tracks.
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-run", "shard", "-scale", "0.02", "-json", path}); err != nil {
+		t.Fatalf("-run shard -json: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "shard" {
+		t.Fatalf("report experiments = %+v, want [shard]", rep.Experiments)
+	}
+	e := rep.Experiments[0]
+	if e.ElapsedSec <= 0 {
+		t.Errorf("elapsedSec = %v, want > 0", e.ElapsedSec)
+	}
+	if e.Metrics["shards4.opsPerSec"] <= 0 || e.Metrics["shards4.gasPerOp"] <= 0 {
+		t.Errorf("shard metrics missing: %+v", e.Metrics)
 	}
 }
 

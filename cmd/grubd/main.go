@@ -1,27 +1,38 @@
 // Command grubd serves the multi-tenant GRuB feed gateway over HTTP.
 //
 // Feeds are created at runtime through the API; each one runs on its own
-// simulated chain behind a dedicated worker goroutine (see internal/server).
+// simulated chain, hash-partitioned across "shards"-many worker goroutines
+// when created with shards in its config (see internal/server and
+// internal/shard).
+//
+// On SIGINT or SIGTERM the daemon shuts down gracefully: it stops accepting
+// connections, finishes in-flight requests, drains every feed worker and
+// exits 0.
 //
 // Usage:
 //
-//	grubd [-addr :8080]
+//	grubd [-addr :8080] [-max-body 8388608]
 //
 // Then, for example:
 //
-//	curl -X POST localhost:8080/feeds -d '{"id":"prices","policy":"memoryless","k":2}'
+//	curl -X POST localhost:8080/feeds -d '{"id":"prices","policy":"memoryless","k":2,"shards":4}'
 //	curl -X POST localhost:8080/feeds/prices/ops \
 //	     -d '{"ops":[{"type":"write","key":"ETH-USD","value":"MjE1MC43NQ=="}]}'
 //	curl localhost:8080/feeds/prices/stats
+//	curl localhost:8080/feeds/prices/shards
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"grub/internal/server"
 )
@@ -33,37 +44,64 @@ func main() {
 	}
 }
 
-// run parses flags and serves until the listener fails or stop is closed.
-// onReady (optional) receives the bound address after the listener is up;
-// tests use it to find the ephemeral port.
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 10 * time.Second
+
+// run parses flags and serves until the listener fails, stop is closed, or
+// SIGINT/SIGTERM arrives (graceful shutdown, nil error). onReady (optional)
+// receives the bound address after the listener is up; tests use it to find
+// the ephemeral port.
 func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("grubd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "POST body size cap in bytes (413 beyond it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return serve(*addr, w, onReady, stop)
+	return serve(*addr, *maxBody, w, onReady, stop)
 }
 
-func serve(addr string, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
+func serve(addr string, maxBody int64, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	g := server.NewGateway()
-	srv := &http.Server{Handler: server.NewHandler(g)}
+	srv := &http.Server{Handler: server.NewHandlerConfig(g, server.HandlerConfig{MaxBodyBytes: maxBody})}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	// The drainer waits for a shutdown trigger, then stops accepting
+	// connections, finishes in-flight requests and drains the feed
+	// workers. Serve returns ErrServerClosed once Shutdown begins; run
+	// waits for the drain to complete on every exit path (failed too), so
+	// returning means fully stopped — no leaked worker goroutines.
+	failed := make(chan struct{})
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(w, "grubd: %v: draining and shutting down\n", sig)
+		case <-stop:
+		case <-failed:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		srv.Shutdown(ctx)
+		g.Close()
+	}()
+
 	fmt.Fprintf(w, "grubd: gateway listening on http://%s\n", ln.Addr())
-	if stop != nil {
-		go func() {
-			<-stop
-			srv.Close()
-			g.Close()
-		}()
-	}
 	if onReady != nil {
 		onReady(ln.Addr())
 	}
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	err = srv.Serve(ln)
+	close(failed)
+	<-drained
+	if err != nil && err != http.ErrServerClosed {
 		return err
 	}
 	return nil

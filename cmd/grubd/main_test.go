@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"net"
+	"syscall"
 	"testing"
+	"time"
 
 	"grub/internal/server"
 )
@@ -48,6 +50,49 @@ func TestServeRoundtrip(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("listening")) {
 		t.Errorf("banner missing: %q", buf.String())
+	}
+}
+
+// TestGracefulSignalShutdown sends a real SIGINT to the test process once
+// the daemon is serving: the signal handler (not the Go runtime default)
+// must catch it, drain the gateway and make run return nil — the wiring
+// that lets a deployed grubd exit 0 on ctrl-C or SIGTERM.
+func TestGracefulSignalShutdown(t *testing.T) {
+	var buf bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0"}, &buf,
+			func(a net.Addr) { ready <- a }, nil)
+	}()
+	addr := <-ready
+
+	// Real traffic before the signal, so the drain has feeds to close.
+	c := server.NewClient("http://" + addr.String())
+	if err := c.CreateFeed(server.FeedConfig{ID: "t", Shards: 2, EpochOps: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("t", []server.Op{{Type: "write", Key: "k", Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGINT, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down within 10s of SIGINT")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("draining")) {
+		t.Errorf("drain banner missing: %q", buf.String())
+	}
+	// The listener is released: new connections are refused.
+	if _, err := c.Feeds(); err == nil {
+		t.Error("gateway still serving after shutdown")
 	}
 }
 

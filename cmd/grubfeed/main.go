@@ -13,7 +13,7 @@
 //
 //	grubfeed [-ops 256] [-policy memoryless|memorizing|bl1|bl2] [-k 2]
 //	grubfeed -load [-gateway http://host:8080] [-feeds 8] [-clients 32]
-//	         [-batches 8] [-batch 16] [-workload A] [-records 64]
+//	         [-batches 8] [-batch 16] [-workload A] [-records 64] [-shards 4]
 package main
 
 import (
@@ -54,6 +54,7 @@ func run(args []string, w io.Writer) error {
 	batch := fs.Int("batch", 16, "ops per batch (-load)")
 	workloadName := fs.String("workload", "A", "YCSB workload letter (-load)")
 	records := fs.Int("records", 64, "preloaded records per feed (-load)")
+	shards := fs.Int("shards", 1, "shards per feed: hash-partition each feed's keyspace (-load)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +63,7 @@ func run(args []string, w io.Writer) error {
 			gateway: *gateway, feeds: *feeds, clients: *clients,
 			batches: *batches, batch: *batch, workload: *workloadName,
 			records: *records, policy: *polName, k: *k, epoch: *epoch,
+			shards: *shards,
 		})
 	}
 	return runDemo(w, *ops, *polName, *k, *epoch)
@@ -129,6 +131,7 @@ type loadConfig struct {
 	records        int
 	policy         string
 	k, epoch       int
+	shards         int
 }
 
 // runLoad replays YCSB batches against a gateway from N concurrent clients
@@ -150,12 +153,13 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 		defer shutdown()
 		fmt.Fprintf(w, "started in-process gateway on %s\n", url)
 	}
-	fmt.Fprintf(w, "load: %d feeds x YCSB-%s, %d clients x %d batches x %d ops\n",
-		cfg.feeds, spec.Name, cfg.clients, cfg.batches, cfg.batch)
+	fmt.Fprintf(w, "load: %d feeds x YCSB-%s (%d shards each), %d clients x %d batches x %d ops\n",
+		cfg.feeds, spec.Name, max(cfg.shards, 1), cfg.clients, cfg.batches, cfg.batch)
 	res, err := server.RunLoad(server.NewClient(url), server.LoadSpec{
 		Prefix: "load", Feeds: cfg.feeds, Clients: cfg.clients,
 		Batches: cfg.batches, BatchOps: cfg.batch, Records: cfg.records,
-		Workload: spec, Policy: cfg.policy, K: cfg.k, EpochOps: cfg.epoch,
+		Workload: spec, Policy: cfg.policy, K: cfg.k, Shards: cfg.shards,
+		EpochOps: cfg.epoch,
 	})
 	if err != nil {
 		return err

@@ -43,6 +43,23 @@ func TestLoadStandalone(t *testing.T) {
 	}
 }
 
+// TestLoadSharded drives the load path with sharded feeds.
+func TestLoadSharded(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-load", "-feeds", "2", "-clients", "4", "-batches", "2",
+		"-batch", "4", "-records", "8", "-workload", "B", "-shards", "4"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 shards each") {
+		t.Errorf("shard banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ops/sec") {
+		t.Errorf("throughput line missing:\n%s", out)
+	}
+}
+
 func TestLoadUnknownWorkload(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-load", "-workload", "Z"}, &buf); err == nil {

@@ -30,6 +30,17 @@ type Config struct {
 	Scale float64
 	// Seed makes every synthetic trace deterministic.
 	Seed uint64
+	// Metric, when set, receives named scalar results (ops/sec, gas/op)
+	// from experiments that measure them; cmd/grubbench uses it to write
+	// the machine-readable BENCH_smoke.json the CI tracks per PR.
+	Metric func(name string, value float64)
+}
+
+// metric reports a named scalar result if a collector is configured.
+func (c Config) metric(name string, value float64) {
+	if c.Metric != nil {
+		c.Metric(name, value)
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +99,7 @@ var Registry = []Experiment{
 	{ID: "fig15", Title: "Adaptive-K policies under ethPriceOracle (time series)", Run: RunFig15},
 	{ID: "table5", Title: "Aggregated Gas under ethPriceOracle (static vs adaptive K)", Run: RunTable5},
 	{ID: "gateway", Title: "Concurrent multi-feed gateway throughput (ops/sec, gas/op)", Run: RunGateway},
+	{ID: "shard", Title: "Sharded feed scatter-gather scaling at 1/2/4/8 shards (ops/sec, gas/op)", Run: RunShard},
 }
 
 // ByID resolves an experiment.

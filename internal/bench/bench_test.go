@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -34,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig5", "table3", "fig6", "table6",
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
-		"gateway",
+		"gateway", "shard",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -123,3 +124,28 @@ func TestFig6Smoke(t *testing.T) {
 func TestFig9Smoke(t *testing.T)   { runSmoke(t, "fig9") }
 func TestFig15Smoke(t *testing.T)  { runSmoke(t, "fig15") }
 func TestTable5Smoke(t *testing.T) { runSmoke(t, "table5") }
+
+func TestShardSmoke(t *testing.T) {
+	e, err := ByID("shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	var buf bytes.Buffer
+	cfg := Config{W: &buf, Scale: smokeScale, Seed: 7,
+		Metric: func(name string, v float64) { metrics[name] = v }}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		if metrics[fmt.Sprintf("shards%d.opsPerSec", n)] <= 0 {
+			t.Errorf("shards%d.opsPerSec missing or zero: %v", n, metrics)
+		}
+		if metrics[fmt.Sprintf("shards%d.gasPerOp", n)] <= 0 {
+			t.Errorf("shards%d.gasPerOp missing or zero: %v", n, metrics)
+		}
+	}
+	if !strings.Contains(buf.String(), "shards") {
+		t.Errorf("shard report incomplete:\n%s", buf.String())
+	}
+}

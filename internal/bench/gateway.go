@@ -53,5 +53,7 @@ func RunGateway(cfg Config) error {
 	fmt.Fprintf(cfg.W, "\nthroughput: %d load ops in %v -> %.0f ops/sec\n",
 		res.LoadOps, res.Elapsed.Round(time.Millisecond), res.OpsPerSec())
 	fmt.Fprintf(cfg.W, "aggregate feed Gas per op: %.0f\n", res.AvgGasPerOp())
+	cfg.metric("opsPerSec", res.OpsPerSec())
+	cfg.metric("gasPerOp", res.AvgGasPerOp())
 	return nil
 }

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"grub/internal/chain"
+	"grub/internal/core"
+	"grub/internal/gas"
+	"grub/internal/policy"
+	"grub/internal/shard"
+	"grub/internal/sim"
+	"grub/internal/workload/ycsb"
+)
+
+// RunShard measures the sharded feed engine directly (no HTTP): one logical
+// feed hash-partitioned over 1, 2, 4 and 8 shards, hammered by concurrent
+// clients with read-heavy YCSB-B batches (95% reads — the regime where
+// GRuB replicates hot keys and the feed becomes CPU-bound on deliver
+// verification, so extra shards buy real cores). It reports ops/sec and
+// gas/op per shard count; ops/sec scales with shards while gas/op stays in
+// the same band — per-key replication decisions are independent of
+// sharding, and only epoch batching (per shard, not global) shifts it.
+func RunShard(cfg Config) error {
+	cfg = cfg.withDefaults()
+	const batchOps = 16
+	records := cfg.scaled(256, 32)
+	clients := cfg.scaled(16, 4)
+	batches := cfg.scaled(16, 2)
+
+	build := func(int) (*core.Feed, error) {
+		c := chain.New(sim.NewClock(0), chain.Params{BlockInterval: 1, PropagationDelay: 0, FinalityDepth: 2}, gas.DefaultSchedule())
+		return core.NewFeed(c, policy.NewMemoryless(2), core.Options{EpochOps: 8}), nil
+	}
+
+	fmt.Fprintf(cfg.W, "shard: scatter-gather scaling, %d clients x %d batches x %d ops (YCSB-B, %d records)\n\n",
+		clients, batches, batchOps, records)
+	fmt.Fprintf(cfg.W, "%-8s %10s %12s %12s %12s %10s\n", "shards", "ops", "elapsed", "ops/sec", "gas/op", "speedup")
+
+	var baseline float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		sf, err := shard.New(shard.Options{Shards: shards}, build)
+		if err != nil {
+			return err
+		}
+		preload := core.FromWorkload(ycsb.NewDriver(ycsb.WorkloadB, records, 32, cfg.Seed).Preload())
+		if _, err := sf.Do(preload); err != nil {
+			sf.Close()
+			return err
+		}
+
+		var wg sync.WaitGroup
+		errc := make(chan error, clients)
+		start := time.Now()
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				d := ycsb.NewDriver(ycsb.WorkloadB, records, 32, cfg.Seed+uint64(ci+1)*7919)
+				for b := 0; b < batches; b++ {
+					if _, err := sf.Do(core.FromWorkload(d.Generate(batchOps))); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			sf.Close()
+			return err
+		}
+		elapsed := time.Since(start)
+
+		st, err := sf.Stats()
+		sf.Close()
+		if err != nil {
+			return err
+		}
+		loadOps := st.Ops - len(preload)
+		opsPerSec := float64(loadOps) / elapsed.Seconds()
+		if shards == 1 {
+			baseline = opsPerSec
+		}
+		speedup := 0.0
+		if baseline > 0 {
+			speedup = opsPerSec / baseline
+		}
+		fmt.Fprintf(cfg.W, "%-8d %10d %12v %12.0f %12.0f %9.2fx\n",
+			shards, loadOps, elapsed.Round(time.Millisecond), opsPerSec, st.GasPerOp, speedup)
+		cfg.metric(fmt.Sprintf("shards%d.opsPerSec", shards), opsPerSec)
+		cfg.metric(fmt.Sprintf("shards%d.gasPerOp", shards), st.GasPerOp)
+	}
+	fmt.Fprintln(cfg.W, "\n(speedup is relative to 1 shard on this host; per-key gas is shard-independent)")
+	return nil
+}

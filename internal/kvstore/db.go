@@ -64,8 +64,11 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := db.loadTables(); err != nil {
 		return nil, err
 	}
-	// Replay WAL into the fresh memtable.
-	_, err := replayWAL(db.walPath(), func(key []byte, seq uint64, kind entryKind, val []byte) {
+	// Replay WAL into the fresh memtable. A torn tail (crash mid-write) is
+	// physically discarded: truncating to the intact prefix keeps the log
+	// appendable — records written after recovery must follow the last
+	// good one, not the damaged bytes.
+	truncated, validLen, err := replayWAL(db.walPath(), func(key []byte, seq uint64, kind entryKind, val []byte) {
 		db.mem.add(key, seq, kind, val)
 		if seq > db.seq {
 			db.seq = seq
@@ -73,6 +76,11 @@ func Open(dir string, opts Options) (*DB, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if truncated {
+		if err := os.Truncate(db.walPath(), validLen); err != nil {
+			return nil, fmt.Errorf("kvstore: drop torn wal tail: %w", err)
+		}
 	}
 	w, err := openWAL(db.walPath())
 	if err != nil {

@@ -60,43 +60,45 @@ func (w *wal) close() error {
 }
 
 // replayWAL reads every intact record from the log at path and invokes apply
-// for each entry, in order. It tolerates (and reports via the returned
-// truncated flag) a torn tail.
-func replayWAL(path string, apply func(key []byte, seq uint64, kind entryKind, val []byte)) (truncated bool, err error) {
+// for each entry, in order. A torn or corrupt tail (crash mid-write) stops
+// the replay; truncated reports that case and validLen is the byte length
+// of the intact prefix, which the caller must truncate the file to before
+// appending — otherwise new records land after the damaged bytes and are
+// unreachable on the next replay.
+func replayWAL(path string, apply func(key []byte, seq uint64, kind entryKind, val []byte)) (truncated bool, validLen int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return false, nil
+			return false, 0, nil
 		}
-		return false, fmt.Errorf("kvstore: read wal: %w", err)
+		return false, 0, fmt.Errorf("kvstore: read wal: %w", err)
 	}
 	off := 0
 	for off < len(data) {
 		if off+8 > len(data) {
-			return true, nil // torn header
+			return true, int64(off), nil // torn header
 		}
 		sum := binary.LittleEndian.Uint32(data[off : off+4])
 		n := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
-		off += 8
-		if off+n > len(data) {
-			return true, nil // torn payload
+		if off+8+n > len(data) {
+			return true, int64(off), nil // torn payload
 		}
-		payload := data[off : off+n]
+		payload := data[off+8 : off+8+n]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return true, nil // corrupt record: stop replay here
+			return true, int64(off), nil // corrupt record: stop replay here
 		}
-		off += n
 		p := 0
 		for p < len(payload) {
 			key, seq, kind, val, m, derr := decodeEntry(payload[p:])
 			if derr != nil {
-				return false, fmt.Errorf("kvstore: wal entry: %w", derr)
+				return false, 0, fmt.Errorf("kvstore: wal entry: %w", derr)
 			}
 			apply(key, seq, kind, val)
 			p += m
 		}
+		off += 8 + n
 	}
-	return false, nil
+	return false, int64(off), nil
 }
 
 var _ io.Closer = (*os.File)(nil) // compile-time assertion documenting the resource we manage

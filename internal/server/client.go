@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"grub/internal/shard"
 )
 
 // Client talks to a gateway over its HTTP/JSON API. The zero HTTP client is
@@ -99,12 +101,30 @@ func (c *Client) Stats(id string) (Stats, error) {
 }
 
 // Trace fetches the serialized op order (feeds created with RecordTrace).
+// For a sharded feed the order is per shard: shard 0's sub-trace, then
+// shard 1's, and so on.
 func (c *Client) Trace(id string) ([]Op, error) {
-	var out BatchRequest
+	ops, _, err := c.TraceResults(id)
+	return ops, err
+}
+
+// TraceResults fetches the recorded trace together with the per-op results
+// each op produced when it executed (index-aligned with the ops).
+func (c *Client) TraceResults(id string) ([]Op, []OpResult, error) {
+	var out TraceResponse
 	if err := c.call(http.MethodGet, "/feeds/"+id+"/trace", nil, &out); err != nil {
+		return nil, nil, err
+	}
+	return out.Ops, out.Results, nil
+}
+
+// ShardStats fetches the per-shard breakdown of one feed's counters.
+func (c *Client) ShardStats(id string) ([]shard.ShardStat, error) {
+	var out ShardsResponse
+	if err := c.call(http.MethodGet, "/feeds/"+id+"/shards", nil, &out); err != nil {
 		return nil, err
 	}
-	return out.Ops, nil
+	return out.Shards, nil
 }
 
 // CloseFeed closes a feed.

@@ -5,7 +5,21 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"grub/internal/shard"
 )
+
+// DefaultMaxBodyBytes caps POST request bodies (8 MiB). Decoding an
+// unbounded body would let one client exhaust the gateway's memory before a
+// single op executes.
+const DefaultMaxBodyBytes int64 = 8 << 20
+
+// HandlerConfig tunes the HTTP layer.
+type HandlerConfig struct {
+	// MaxBodyBytes caps POST bodies; requests beyond it get 413. Values
+	// <= 0 mean DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
 
 // BatchRequest is the body of POST /feeds/{id}/ops.
 type BatchRequest struct {
@@ -15,6 +29,19 @@ type BatchRequest struct {
 // BatchResponse answers it.
 type BatchResponse struct {
 	Results []OpResult `json:"results"`
+}
+
+// TraceResponse is the body of GET /feeds/{id}/trace: the serialized op
+// order and, index-aligned, the result each op produced when it executed.
+type TraceResponse struct {
+	Ops     []Op       `json:"ops"`
+	Results []OpResult `json:"results,omitempty"`
+}
+
+// ShardsResponse is the body of GET /feeds/{id}/shards.
+type ShardsResponse struct {
+	ID     string            `json:"id"`
+	Shards []shard.ShardStat `json:"shards"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -43,14 +70,41 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// NewHandler exposes a gateway over HTTP/JSON.
+// decodeBody decodes a JSON POST body under the configured size cap,
+// translating an overrun into 413 rather than a generic decode failure. It
+// reports whether decoding succeeded (the error response is already written
+// when it did not).
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", maxBytes)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode: %v", err)})
+		return false
+	}
+	return true
+}
+
+// NewHandler exposes a gateway over HTTP/JSON with default limits.
 func NewHandler(g *Gateway) http.Handler {
+	return NewHandlerConfig(g, HandlerConfig{})
+}
+
+// NewHandlerConfig exposes a gateway over HTTP/JSON.
+func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
+	maxBody := hc.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /feeds", func(w http.ResponseWriter, r *http.Request) {
 		var cfg FeedConfig
-		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode: %v", err)})
+		if !decodeBody(w, r, maxBody, &cfg) {
 			return
 		}
 		if err := g.CreateFeed(cfg); err != nil {
@@ -66,8 +120,7 @@ func NewHandler(g *Gateway) http.Handler {
 
 	mux.HandleFunc("POST /feeds/{id}/ops", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode: %v", err)})
+		if !decodeBody(w, r, maxBody, &req) {
 			return
 		}
 		results, err := g.Do(r.PathValue("id"), req.Ops)
@@ -87,13 +140,22 @@ func NewHandler(g *Gateway) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	mux.HandleFunc("GET /feeds/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
-		trace, err := g.Trace(r.PathValue("id"))
+	mux.HandleFunc("GET /feeds/{id}/shards", func(w http.ResponseWriter, r *http.Request) {
+		per, err := g.ShardStats(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, BatchRequest{Ops: trace})
+		writeJSON(w, http.StatusOK, ShardsResponse{ID: r.PathValue("id"), Shards: per})
+	})
+
+	mux.HandleFunc("GET /feeds/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		ops, results, err := g.TraceResults(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, TraceResponse{Ops: ops, Results: results})
 	})
 
 	mux.HandleFunc("DELETE /feeds/{id}", func(w http.ResponseWriter, r *http.Request) {

@@ -1,11 +1,16 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
+	"grub/internal/core"
+	"grub/internal/shard"
 	"grub/internal/workload/ycsb"
 )
 
@@ -185,6 +190,235 @@ func TestGatewayConcurrentEquivalence(t *testing.T) {
 		if got.Feed.Delivered == 0 {
 			t.Errorf("%s: no reads delivered — workload did not exercise the feed", id)
 		}
+	}
+}
+
+// TestHTTPBodyLimit checks the POST body cap: oversized batches get 413
+// before any decoding work, and the boundary case still succeeds.
+func TestHTTPBodyLimit(t *testing.T) {
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandlerConfig(g, HandlerConfig{MaxBodyBytes: 4096}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if err := c.CreateFeed(FeedConfig{ID: "f"}); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	big := `{"ops":[{"type":"write","key":"k","value":"` + strings.Repeat("QUFB", 4096) + `"}]}`
+	if got := post("/feeds/f/ops", big); got != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized ops batch: status %d, want 413", got)
+	}
+	if got := post("/feeds", big); got != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized feed config: status %d, want 413", got)
+	}
+	small := `{"ops":[{"type":"write","key":"k","value":"QUFB"}]}`
+	if got := post("/feeds/f/ops", small); got != http.StatusOK {
+		t.Errorf("small batch under the cap: status %d, want 200", got)
+	}
+	// The default cap applies when none is configured.
+	srv2 := httptest.NewServer(NewHandler(g))
+	defer srv2.Close()
+	if err := NewClient(srv2.URL).CreateFeed(FeedConfig{ID: "f2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPShardEndpoints exercises the sharded-feed surface over HTTP:
+// creation with shards, per-shard stats and trace retrieval.
+func TestHTTPShardEndpoints(t *testing.T) {
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if err := c.CreateFeed(FeedConfig{ID: "s", Shards: 4, EpochOps: 2, RecordTrace: true}); err != nil {
+		t.Fatal(err)
+	}
+	var ops []Op
+	for i := 0; i < 16; i++ {
+		ops = append(ops, Op{Type: "write", Key: fmt.Sprintf("k%d", i), Value: []byte{byte(i)}})
+	}
+	if _, err := c.Do("s", ops); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || st.Ops != 16 || st.Batches != 1 {
+		t.Errorf("stats shards/ops/batches = %d/%d/%d, want 4/16/1", st.Shards, st.Ops, st.Batches)
+	}
+	per, err := c.ShardStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 4 {
+		t.Fatalf("got %d shard stats, want 4", len(per))
+	}
+	sumOps, sumRecords := 0, 0
+	for i, p := range per {
+		if p.Shard != i {
+			t.Errorf("shard stat %d has index %d", i, p.Shard)
+		}
+		sumOps += p.Ops
+		sumRecords += p.Feed.Records
+	}
+	if sumOps != 16 || sumRecords != 16 {
+		t.Errorf("shard sums ops/records = %d/%d, want 16/16", sumOps, sumRecords)
+	}
+	trOps, trResults, err := c.TraceResults("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trOps) != 16 || len(trResults) != 16 {
+		t.Errorf("trace ops/results = %d/%d, want 16/16", len(trOps), len(trResults))
+	}
+	if _, err := c.ShardStats("ghost"); err == nil {
+		t.Error("ShardStats on unknown feed succeeded over HTTP")
+	}
+}
+
+// TestShardedGatewayEquivalence is the acceptance test for the sharded
+// engine end to end: a gateway-hosted sharded feed (N in {2,4,8}) driven by
+// 32 concurrent HTTP clients must match N independent single feeds each
+// replaying its shard's serialized sub-trace — per-key results, delivered
+// counts, and total gas, exactly. Run under -race this covers the whole
+// HTTP -> gateway -> scatter-gather -> shard-worker stack.
+func TestShardedGatewayEquivalence(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const (
+				clients        = 32
+				batchesPerClnt = 3
+				opsPerBatch    = 8
+				records        = 24
+			)
+			cfg := FeedConfig{
+				ID:          "sharded",
+				Policy:      "memoryless",
+				K:           2,
+				Shards:      shards,
+				EpochOps:    8,
+				RecordTrace: true,
+			}
+			g := NewGateway()
+			defer g.Close()
+			srv := httptest.NewServer(NewHandler(g))
+			defer srv.Close()
+			c := NewClient(srv.URL)
+			if err := c.CreateFeed(cfg); err != nil {
+				t.Fatal(err)
+			}
+			preload := FromWorkload(ycsb.NewDriver(ycsb.WorkloadA, records, 32, 1).Preload())
+			if _, err := c.Do(cfg.ID, preload); err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for ci := 0; ci < clients; ci++ {
+				wg.Add(1)
+				go func(ci int) {
+					defer wg.Done()
+					cl := NewClient(srv.URL)
+					d := ycsb.NewDriver(ycsb.WorkloadA, records, 32, uint64(2000+ci))
+					for b := 0; b < batchesPerClnt; b++ {
+						results, err := cl.Do(cfg.ID, FromWorkload(d.Generate(opsPerBatch)))
+						if err != nil {
+							errs <- err
+							return
+						}
+						for _, res := range results {
+							if res.Err != "" {
+								errs <- fmt.Errorf("op %q: %s", res.Key, res.Err)
+								return
+							}
+						}
+					}
+				}(ci)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// The merged trace concatenates per-shard sub-traces; splitting
+			// by the shared hash routing recovers each shard's exact order.
+			trace, recorded, err := c.TraceResults(cfg.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantOps := len(preload) + clients*batchesPerClnt*opsPerBatch
+			if len(trace) != wantOps || len(recorded) != wantOps {
+				t.Fatalf("trace ops/results = %d/%d, want %d", len(trace), len(recorded), wantOps)
+			}
+			subTrace := make([][]Op, shards)
+			subRes := make([][]OpResult, shards)
+			for i, op := range trace {
+				sh := shard.ShardOf(op.Key, shards)
+				subTrace[sh] = append(subTrace[sh], op)
+				subRes[sh] = append(subRes[sh], recorded[i])
+			}
+
+			per, err := c.ShardStats(cfg.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Stats(cfg.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantAgg core.FeedStats
+			for sh := 0; sh < shards; sh++ {
+				ref, err := NewFeed(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replayed := ApplyOps(ref, subTrace[sh])
+				for j, res := range replayed {
+					rec := subRes[sh][j]
+					if res.Key != rec.Key || res.Found != rec.Found ||
+						!bytes.Equal(res.Value, rec.Value) || res.Err != rec.Err {
+						t.Errorf("shard %d op %d: replay %+v != recorded %+v", sh, j, res, rec)
+					}
+				}
+				want := ref.Stats()
+				if per[sh].Feed != want {
+					t.Errorf("shard %d stats diverge from single-feed replay:\n got %+v\nwant %+v", sh, per[sh].Feed, want)
+				}
+				if per[sh].Ops != len(subTrace[sh]) {
+					t.Errorf("shard %d ops = %d, want %d", sh, per[sh].Ops, len(subTrace[sh]))
+				}
+				wantAgg.Delivered += want.Delivered
+				wantAgg.NotFound += want.NotFound
+				wantAgg.FeedGas += want.FeedGas
+				wantAgg.TotalGas += want.TotalGas
+				wantAgg.Height += want.Height
+				wantAgg.TxCount += want.TxCount
+				wantAgg.Records += want.Records
+				wantAgg.Replicated += want.Replicated
+			}
+			if got.Feed != wantAgg {
+				t.Errorf("aggregate stats diverge from summed replays:\n got %+v\nwant %+v", got.Feed, wantAgg)
+			}
+			if got.Ops != wantOps {
+				t.Errorf("ops = %d, want %d", got.Ops, wantOps)
+			}
+			if got.Feed.Delivered == 0 {
+				t.Error("no reads delivered — workload did not exercise the feed")
+			}
+		})
 	}
 }
 

@@ -42,6 +42,9 @@ type LoadSpec struct {
 	Workload ycsb.Spec
 	Policy   string
 	K        int
+	// Shards hash-partitions each feed's keyspace across this many shards
+	// (0 or 1 = unsharded).
+	Shards   int
 	EpochOps int
 	Seed     uint64
 }
@@ -121,7 +124,8 @@ func RunLoad(c *Client, spec LoadSpec) (LoadResult, error) {
 	preload := FromWorkload(ycsb.NewDriver(spec.Workload, spec.Records, 32, spec.Seed).Preload())
 	for i := 0; i < spec.Feeds; i++ {
 		err := c.CreateFeed(FeedConfig{
-			ID: feedID(i), Policy: spec.Policy, K: spec.K, EpochOps: spec.EpochOps,
+			ID: feedID(i), Policy: spec.Policy, K: spec.K, Shards: spec.Shards,
+			EpochOps: spec.EpochOps,
 		})
 		if err != nil {
 			cleanup(i)

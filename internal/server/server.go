@@ -1,19 +1,23 @@
 // Package server implements the multi-tenant GRuB feed gateway: many named
-// core.Feed instances hosted in one process, each owned by a dedicated
-// worker goroutine fed through a mailbox channel. A feed's DO, SP and
-// simulated chain are single-writer state; sharding by feed makes the whole
-// gateway race-free by construction — concurrency happens *between* feeds
-// and at the HTTP layer, never inside one.
+// feeds hosted in one process, each backed by a sharded feed engine
+// (internal/shard) that hash-partitions the keyspace across N core.Feed
+// shards, each owned by a dedicated worker goroutine fed through a mailbox
+// channel. A feed's DO, SP and simulated chain are single-writer state;
+// sharding by key makes the whole gateway race-free by construction —
+// concurrency happens between feeds, between shards and at the HTTP layer,
+// never inside one shard. An unsharded feed (Shards <= 1) is exactly PR 1's
+// one-worker-per-feed gateway.
 //
 // The package exposes both a Go API (Gateway, for embedding) and an
 // HTTP/JSON API (NewHandler + Client, served by cmd/grubd):
 //
-//	POST   /feeds            create a feed from a FeedConfig
-//	GET    /feeds            list feed IDs
-//	POST   /feeds/{id}/ops   execute a batch of read/write/scan ops
-//	GET    /feeds/{id}/stats gas counters and replication state
-//	GET    /feeds/{id}/trace serialized op order (when RecordTrace is set)
-//	DELETE /feeds/{id}       close a feed
+//	POST   /feeds             create a feed from a FeedConfig
+//	GET    /feeds             list feed IDs
+//	POST   /feeds/{id}/ops    execute a batch of read/write/scan ops
+//	GET    /feeds/{id}/stats  gas counters and replication state (aggregate)
+//	GET    /feeds/{id}/shards per-shard stats breakdown
+//	GET    /feeds/{id}/trace  serialized op order (when RecordTrace is set)
+//	DELETE /feeds/{id}        close a feed
 package server
 
 import (
@@ -26,6 +30,7 @@ import (
 	"grub/internal/core"
 	"grub/internal/gas"
 	"grub/internal/policy"
+	"grub/internal/shard"
 	"grub/internal/sim"
 	"grub/internal/workload"
 )
@@ -43,22 +48,24 @@ var (
 	ErrClosed = errors.New("gateway closed")
 )
 
-// Op is one operation in a batch. Type is "read", "write" or "scan".
-type Op struct {
-	Type    string `json:"type"`
-	Key     string `json:"key"`
-	Value   []byte `json:"value,omitempty"`
-	ScanLen int    `json:"scanLen,omitempty"`
-}
+// Op, OpResult and the batch execution path live in core (the batch-op
+// layer); the gateway re-exports them so its wire API is self-contained.
+type (
+	// Op is one operation in a batch. Type is "read", "write" or "scan".
+	Op = core.Op
+	// OpResult reports one executed operation.
+	OpResult = core.OpResult
+)
 
-// OpResult reports one executed operation. Found is meaningful for reads: it
-// distinguishes a delivered value from a proven absence.
-type OpResult struct {
-	Key   string `json:"key"`
-	Found bool   `json:"found,omitempty"`
-	Value []byte `json:"value,omitempty"`
-	Err   string `json:"err,omitempty"`
-}
+// ApplyOps executes a batch against a feed, in order, and returns per-op
+// results. It is the single execution path shared by the shard workers and
+// by sequential replays, so a concurrent gateway run and a single-threaded
+// replay of the same serialized op order produce identical state and Gas.
+func ApplyOps(f *core.Feed, ops []Op) []OpResult { return core.ApplyOps(f, ops) }
+
+// FromWorkload converts a workload trace into gateway ops (the load driver
+// and the gateway benchmark replay YCSB traces through this).
+func FromWorkload(ops []workload.Op) []Op { return core.FromWorkload(ops) }
 
 // FeedConfig describes a feed to create.
 type FeedConfig struct {
@@ -68,20 +75,26 @@ type FeedConfig struct {
 	Policy string `json:"policy,omitempty"`
 	// K is the policy parameter of Equation 1 (default 2).
 	K int `json:"k,omitempty"`
+	// Shards hash-partitions the feed's keyspace across this many
+	// independent shards, each with its own chain, gas meter and policy
+	// state; batches scatter-gather across them (internal/shard). 0 or 1
+	// means unsharded.
+	Shards int `json:"shards,omitempty"`
 	// EpochOps, MaxReplicas and DeferPromotions mirror core.Options.
 	EpochOps        int  `json:"epochOps,omitempty"`
 	MaxReplicas     int  `json:"maxReplicas,omitempty"`
 	DeferPromotions bool `json:"deferPromotions,omitempty"`
-	// RecordTrace keeps the serialized op order in memory so it can be
-	// fetched from /feeds/{id}/trace and replayed single-threaded (the
-	// equivalence tests do exactly that). Off by default: the trace grows
-	// without bound.
+	// RecordTrace keeps the serialized op order (per shard) in memory so it
+	// can be fetched from /feeds/{id}/trace and replayed single-threaded
+	// (the equivalence tests do exactly that). Off by default: the trace
+	// grows without bound.
 	RecordTrace bool `json:"recordTrace,omitempty"`
 }
 
-// NewFeed builds the feed a config describes, on a fresh simulated chain.
-// The gateway workers use it; single-threaded replays (tests, the bench
-// equivalence check) use it to build the reference feed the same way.
+// NewFeed builds the single feed a config describes (ignoring Shards), on a
+// fresh simulated chain. The shard workers use it once per shard;
+// single-threaded replays (tests, the bench equivalence check) use it to
+// build the reference feed the same way.
 func NewFeed(cfg FeedConfig) (*core.Feed, error) {
 	k := cfg.K
 	if k <= 0 {
@@ -112,10 +125,23 @@ func NewFeed(cfg FeedConfig) (*core.Feed, error) {
 	return core.NewFeed(c, pol, opts), nil
 }
 
-// Stats is the gateway's per-feed report: the feed snapshot plus the
-// gateway-level op accounting it needs to express gas/op.
+// NewShardedFeed builds the sharded feed engine a config describes: Shards
+// identically-configured feeds (each on its own chain) behind one
+// scatter-gather front. It is how the gateway hosts every feed.
+func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
+	return shard.New(
+		shard.Options{Shards: cfg.Shards, RecordTrace: cfg.RecordTrace},
+		func(int) (*core.Feed, error) { return NewFeed(cfg) },
+	)
+}
+
+// Stats is the gateway's per-feed report: the aggregate feed snapshot plus
+// the gateway-level op accounting it needs to express gas/op. For a sharded
+// feed the Feed snapshot is the field-wise sum over shards; the per-shard
+// breakdown is served by ShardStats (GET /feeds/{id}/shards).
 type Stats struct {
 	ID      string         `json:"id"`
+	Shards  int            `json:"shards"`
 	Ops     int            `json:"ops"`
 	Batches int            `json:"batches"`
 	Feed    core.FeedStats `json:"feed"`
@@ -123,162 +149,42 @@ type Stats struct {
 	GasPerOp float64 `json:"gasPerOp"`
 }
 
-// ApplyOps executes a batch against a feed, in order, and returns per-op
-// results. It is the single execution path shared by the gateway workers and
-// by sequential replays, so a concurrent gateway run and a single-threaded
-// replay of the same serialized op order produce identical state and Gas.
-func ApplyOps(f *core.Feed, ops []Op) []OpResult {
-	out := make([]OpResult, len(ops))
-	for i, op := range ops {
-		out[i] = applyOp(f, op)
-	}
-	return out
-}
-
-func applyOp(f *core.Feed, op Op) OpResult {
-	res := OpResult{Key: op.Key}
-	switch op.Type {
-	case "write":
-		f.Write(core.KV{Key: op.Key, Value: op.Value})
-		res.Found = true
-	case "read":
-		before := f.Delivered()
-		if err := f.Read(op.Key); err != nil {
-			res.Err = err.Error()
-			return res
-		}
-		if f.Delivered() > before {
-			res.Found = true
-			res.Value = append([]byte(nil), f.LastValue[op.Key]...)
-		}
-	case "scan":
-		n := op.ScanLen
-		if n < 1 {
-			n = 1
-		}
-		if err := f.Process([]workload.Op{workload.Scan(op.Key, n)}); err != nil {
-			res.Err = err.Error()
-			return res
-		}
-		res.Found = true
-	default:
-		res.Err = fmt.Sprintf("unknown op type %q", op.Type)
-	}
-	return res
-}
-
-// FromWorkload converts a workload trace into gateway ops (the load driver
-// and the gateway benchmark replay YCSB traces through this).
-func FromWorkload(ops []workload.Op) []Op {
-	out := make([]Op, len(ops))
-	for i, op := range ops {
-		switch {
-		case op.Write:
-			out[i] = Op{Type: "write", Key: op.Key, Value: op.Value}
-		case op.ScanLen > 0:
-			out[i] = Op{Type: "scan", Key: op.Key, ScanLen: op.ScanLen}
-		default:
-			out[i] = Op{Type: "read", Key: op.Key}
-		}
-	}
-	return out
-}
-
-// request kinds understood by a feed worker.
-type reqKind int
-
-const (
-	reqOps reqKind = iota
-	reqStats
-	reqTrace
-	reqStop
-)
-
-type request struct {
-	kind reqKind
-	ops  []Op
-	resp chan response
-}
-
-type response struct {
-	results []OpResult
-	stats   Stats
-	trace   []Op
-}
-
-// feedWorker owns one feed. Only its goroutine touches the feed; everyone
-// else talks through the mailbox.
-type feedWorker struct {
-	id   string
-	mail chan request
-	done chan struct{}
-}
-
-func (w *feedWorker) loop(f *core.Feed, recordTrace bool) {
-	defer close(w.done)
-	base := f.FeedGas() // genesis digest cost, excluded from gas/op
-	ops, batches := 0, 0
-	var trace []Op
-	for req := range w.mail {
-		switch req.kind {
-		case reqStop:
-			req.resp <- response{}
-			return
-		case reqStats:
-			st := Stats{ID: w.id, Ops: ops, Batches: batches, Feed: f.Stats()}
-			if ops > 0 {
-				st.GasPerOp = float64(st.Feed.FeedGas-base) / float64(ops)
-			}
-			req.resp <- response{stats: st}
-		case reqTrace:
-			cp := make([]Op, len(trace))
-			copy(cp, trace)
-			req.resp <- response{trace: cp}
-		default:
-			results := ApplyOps(f, req.ops)
-			ops += len(req.ops)
-			batches++
-			if recordTrace {
-				trace = append(trace, req.ops...)
-			}
-			req.resp <- response{results: results}
-		}
-	}
-}
-
-// Gateway hosts many feeds and routes batches to their workers. All methods
-// are safe for concurrent use.
+// Gateway hosts many feeds and routes batches to their shard engines. All
+// methods are safe for concurrent use.
 type Gateway struct {
 	mu     sync.RWMutex
-	feeds  map[string]*feedWorker
+	feeds  map[string]*shard.ShardedFeed
 	closed bool
 }
 
 // NewGateway returns an empty gateway.
 func NewGateway() *Gateway {
-	return &Gateway{feeds: make(map[string]*feedWorker)}
+	return &Gateway{feeds: make(map[string]*shard.ShardedFeed)}
 }
 
-// CreateFeed builds the feed cfg describes and starts its worker.
+// CreateFeed builds the (possibly sharded) feed cfg describes and starts
+// its workers.
 func (g *Gateway) CreateFeed(cfg FeedConfig) error {
 	if cfg.ID == "" {
 		return fmt.Errorf("server: %w: feed id required", ErrBadConfig)
 	}
-	f, err := NewFeed(cfg)
+	sf, err := NewShardedFeed(cfg)
 	if err != nil {
 		return err
 	}
-	w := &feedWorker{id: cfg.ID, mail: make(chan request), done: make(chan struct{})}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.closed {
+		g.mu.Unlock()
+		sf.Close()
 		return fmt.Errorf("server: %w", ErrClosed)
 	}
 	if _, ok := g.feeds[cfg.ID]; ok {
+		g.mu.Unlock()
+		sf.Close()
 		return fmt.Errorf("server: %w: %q", ErrFeedExists, cfg.ID)
 	}
-	g.feeds[cfg.ID] = w
-	go w.loop(f, cfg.RecordTrace)
+	g.feeds[cfg.ID] = sf
+	g.mu.Unlock()
 	return nil
 }
 
@@ -294,89 +200,124 @@ func (g *Gateway) Feeds() []string {
 	return ids
 }
 
-// send routes one request to a feed's worker and waits for the response.
-func (g *Gateway) send(id string, req request) (response, error) {
+// lookup resolves a feed by ID.
+func (g *Gateway) lookup(id string) (*shard.ShardedFeed, error) {
 	g.mu.RLock()
-	w, ok := g.feeds[id]
+	sf, ok := g.feeds[id]
 	g.mu.RUnlock()
 	if !ok {
-		return response{}, fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
+		return nil, fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
 	}
-	select {
-	case w.mail <- req:
-	case <-w.done:
-		return response{}, fmt.Errorf("server: %w: %q (closed)", ErrUnknownFeed, id)
-	}
-	select {
-	case r := <-req.resp:
-		return r, nil
-	case <-w.done:
-		return response{}, fmt.Errorf("server: %w: %q (closed)", ErrUnknownFeed, id)
-	}
+	return sf, nil
 }
 
-// Do executes a batch of ops against one feed. The batch runs atomically
-// with respect to other batches on the same feed (the worker serializes);
-// batches on different feeds run in parallel.
+// wrapClosed maps the shard engine's closed error onto the gateway's
+// unknown-feed sentinel (a closed feed is indistinguishable from a missing
+// one at the API surface).
+func wrapClosed(id string, err error) error {
+	if errors.Is(err, shard.ErrClosed) {
+		return fmt.Errorf("server: %w: %q (closed)", ErrUnknownFeed, id)
+	}
+	return err
+}
+
+// Do executes a batch of ops against one feed. The batch scatter-gathers
+// across the feed's shards; each shard serializes its sub-batches, so
+// batches on one shard are atomic per shard and batches on different shards
+// or feeds run in parallel.
 func (g *Gateway) Do(id string, ops []Op) ([]OpResult, error) {
-	r, err := g.send(id, request{kind: reqOps, ops: ops, resp: make(chan response, 1)})
+	sf, err := g.lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	return r.results, nil
+	results, err := sf.Do(ops)
+	if err != nil {
+		return nil, wrapClosed(id, err)
+	}
+	return results, nil
 }
 
-// Stats snapshots one feed's counters.
+// Stats snapshots one feed's aggregate counters.
 func (g *Gateway) Stats(id string) (Stats, error) {
-	r, err := g.send(id, request{kind: reqStats, resp: make(chan response, 1)})
+	sf, err := g.lookup(id)
 	if err != nil {
 		return Stats{}, err
 	}
-	return r.stats, nil
+	st, err := sf.Stats()
+	if err != nil {
+		return Stats{}, wrapClosed(id, err)
+	}
+	return Stats{
+		ID:       id,
+		Shards:   st.Shards,
+		Ops:      st.Ops,
+		Batches:  st.Batches,
+		Feed:     st.Feed,
+		GasPerOp: st.GasPerOp,
+	}, nil
 }
 
-// Trace returns the serialized op order executed so far. It is empty unless
-// the feed was created with RecordTrace.
-func (g *Gateway) Trace(id string) ([]Op, error) {
-	r, err := g.send(id, request{kind: reqTrace, resp: make(chan response, 1)})
+// ShardStats returns the per-shard breakdown of one feed's counters.
+func (g *Gateway) ShardStats(id string) ([]shard.ShardStat, error) {
+	sf, err := g.lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	return r.trace, nil
+	st, err := sf.Stats()
+	if err != nil {
+		return nil, wrapClosed(id, err)
+	}
+	return st.PerShard, nil
 }
 
-// CloseFeed stops a feed's worker and forgets it.
+// Trace returns the serialized op order executed so far: shard 0's
+// sub-trace, then shard 1's, and so on (splitting by shard.ShardOf recovers
+// each shard's exact order). It is empty unless the feed was created with
+// RecordTrace.
+func (g *Gateway) Trace(id string) ([]Op, error) {
+	ops, _, err := g.TraceResults(id)
+	return ops, err
+}
+
+// TraceResults returns the recorded trace together with the per-op results
+// each op produced when it executed (index-aligned). The sharded
+// equivalence test replays the trace per shard and compares against these.
+func (g *Gateway) TraceResults(id string) ([]Op, []OpResult, error) {
+	sf, err := g.lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops, results, err := sf.TraceResults()
+	if err != nil {
+		return nil, nil, wrapClosed(id, err)
+	}
+	return ops, results, nil
+}
+
+// CloseFeed stops a feed's shard workers and forgets it.
 func (g *Gateway) CloseFeed(id string) error {
 	g.mu.Lock()
-	w, ok := g.feeds[id]
+	sf, ok := g.feeds[id]
 	delete(g.feeds, id)
 	g.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
 	}
-	select {
-	case w.mail <- request{kind: reqStop, resp: make(chan response, 1)}:
-	case <-w.done:
-	}
-	<-w.done
+	sf.Close()
 	return nil
 }
 
-// Close stops every worker. The gateway accepts no new feeds afterwards.
+// Close stops every feed. The gateway accepts no new feeds afterwards.
 func (g *Gateway) Close() {
 	g.mu.Lock()
 	g.closed = true
-	workers := make([]*feedWorker, 0, len(g.feeds))
-	for id, w := range g.feeds {
-		workers = append(workers, w)
+	feeds := make([]*shard.ShardedFeed, 0, len(g.feeds))
+	for id, sf := range g.feeds {
+		feeds = append(feeds, sf)
 		delete(g.feeds, id)
 	}
 	g.mu.Unlock()
-	for _, w := range workers {
-		select {
-		case w.mail <- request{kind: reqStop, resp: make(chan response, 1)}:
-		case <-w.done:
-		}
-		<-w.done
+	for _, sf := range feeds {
+		sf.Close()
 	}
 }

@@ -1,0 +1,387 @@
+// Package shard implements the sharded feed engine: a ShardedFeed
+// hash-partitions the keyspace across N independent core.Feed shards, each
+// with its own simulated chain, gas meter and replication policy, and each
+// owned by a dedicated worker goroutine fed through a mailbox channel (the
+// single-writer pattern the gateway introduced, pushed down one layer).
+//
+// GRuB's replication decisions (memoryless/memorizing/adaptive-K) are made
+// per key, so the keyspace partitions cleanly: no protocol state crosses a
+// shard boundary. An incoming batch is split per shard by key hash, the
+// sub-batches execute concurrently (scatter), and the per-op results are
+// merged back into the caller's original order (gather). A one-shard
+// ShardedFeed degenerates to exactly the single worker/mailbox feed of the
+// unsharded gateway.
+//
+// Semantics under sharding:
+//
+//   - Per-key operations (read/write) behave exactly as on a single feed:
+//     every key lives on exactly one shard, which serializes its ops.
+//   - Scans route by their start key and expand within that shard's
+//     keyspace only (the hash partition destroys global key order).
+//   - A batch is atomic per shard, not across shards: each shard serializes
+//     its sub-batches, but sub-batches of two concurrent batches may
+//     interleave differently on different shards. Per-key results are
+//     unaffected — that is the equivalence the tests pin down.
+package shard
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"grub/internal/core"
+	"grub/internal/gas"
+)
+
+// ErrClosed is returned by operations on a closed ShardedFeed.
+var ErrClosed = errors.New("shard: feed closed")
+
+// ShardOf maps a key to its shard index in [0, n). The routing is pure
+// (FNV-1a over the key bytes), so clients, the engine and replays all agree
+// on the partition without coordination.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Options configures a ShardedFeed.
+type Options struct {
+	// Shards is the number of partitions; values < 1 mean 1.
+	Shards int
+	// RecordTrace keeps each shard's serialized op order (and per-op
+	// results) in memory so equivalence tests can replay it. Off by
+	// default: the trace grows without bound.
+	RecordTrace bool
+}
+
+// ShardStat is one shard's share of a sharded feed's accounting.
+type ShardStat struct {
+	Shard int `json:"shard"`
+	// Ops and Batches count the sub-batches this shard executed.
+	Ops     int            `json:"ops"`
+	Batches int            `json:"batches"`
+	Feed    core.FeedStats `json:"feed"`
+	// BaseGas is the shard's genesis digest cost, excluded from GasPerOp.
+	BaseGas  gas.Gas `json:"baseGas"`
+	GasPerOp float64 `json:"gasPerOp"`
+}
+
+// Stats aggregates a sharded feed: summed gas counters and read accounting
+// across shards, plus the per-shard breakdown.
+type Stats struct {
+	Shards int `json:"shards"`
+	// Ops sums per-shard ops; Batches counts top-level Do calls.
+	Ops     int `json:"ops"`
+	Batches int `json:"batches"`
+	// Feed is the field-wise sum of the per-shard snapshots (Height and
+	// TxCount sum across the independent per-shard chains).
+	Feed     core.FeedStats `json:"feed"`
+	BaseGas  gas.Gas        `json:"baseGas"`
+	GasPerOp float64        `json:"gasPerOp"`
+	PerShard []ShardStat    `json:"perShard"`
+}
+
+// addFeedStats sums two snapshots field-wise. Summing Height/TxCount is
+// meaningful because shards run on independent chains: the aggregate equals
+// the sum over N single feeds replaying the per-shard sub-traces.
+func addFeedStats(a, b core.FeedStats) core.FeedStats {
+	a.Delivered += b.Delivered
+	a.NotFound += b.NotFound
+	a.FeedGas += b.FeedGas
+	a.TotalGas += b.TotalGas
+	a.Height += b.Height
+	a.TxCount += b.TxCount
+	a.Records += b.Records
+	a.Replicated += b.Replicated
+	return a
+}
+
+// request kinds understood by a shard worker.
+type reqKind int
+
+const (
+	reqOps reqKind = iota
+	reqStats
+	reqTrace
+	reqStop
+)
+
+type request struct {
+	kind reqKind
+	ops  []core.Op
+	resp chan response
+}
+
+type response struct {
+	results  []core.OpResult
+	stat     ShardStat
+	trace    []core.Op
+	traceRes []core.OpResult
+}
+
+// worker owns one shard's feed. Only its goroutine touches the feed;
+// everyone else talks through the mailbox.
+type worker struct {
+	idx  int
+	mail chan request
+	done chan struct{}
+}
+
+// mailboxDepth buffers sub-batch sends so a scatter never stalls on one busy
+// shard while the others sit idle.
+const mailboxDepth = 64
+
+func (w *worker) loop(f *core.Feed, record bool) {
+	defer close(w.done)
+	base := f.FeedGas() // genesis digest cost, excluded from gas/op
+	ops, batches := 0, 0
+	var trace []core.Op
+	var traceRes []core.OpResult
+	for req := range w.mail {
+		switch req.kind {
+		case reqStop:
+			req.resp <- response{}
+			return
+		case reqStats:
+			st := ShardStat{Shard: w.idx, Ops: ops, Batches: batches, Feed: f.Stats(), BaseGas: base}
+			if ops > 0 {
+				st.GasPerOp = float64(st.Feed.FeedGas-base) / float64(ops)
+			}
+			req.resp <- response{stat: st}
+		case reqTrace:
+			tr := make([]core.Op, len(trace))
+			copy(tr, trace)
+			rs := make([]core.OpResult, len(traceRes))
+			copy(rs, traceRes)
+			req.resp <- response{trace: tr, traceRes: rs}
+		default:
+			results := core.ApplyOps(f, req.ops)
+			ops += len(req.ops)
+			batches++
+			if record {
+				trace = append(trace, req.ops...)
+				traceRes = append(traceRes, results...)
+			}
+			req.resp <- response{results: results}
+		}
+	}
+}
+
+// ShardedFeed partitions one logical feed across N shard workers. All
+// methods are safe for concurrent use; per-shard ordering is serialized by
+// the shard workers.
+type ShardedFeed struct {
+	workers   []*worker
+	batches   atomic.Int64
+	closeOnce sync.Once
+}
+
+// New builds a sharded feed with opts.Shards shards, constructing each
+// shard's feed with build (called with the shard index; each call must
+// return a fresh feed on its own chain).
+func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed, error) {
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedFeed{workers: make([]*worker, n)}
+	for i := 0; i < n; i++ {
+		f, err := build(i)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.stopWorker(s.workers[j])
+			}
+			return nil, err
+		}
+		w := &worker{idx: i, mail: make(chan request, mailboxDepth), done: make(chan struct{})}
+		s.workers[i] = w
+		go w.loop(f, opts.RecordTrace)
+	}
+	return s, nil
+}
+
+// Shards returns the partition count.
+func (s *ShardedFeed) Shards() int { return len(s.workers) }
+
+// send routes one request to a shard worker, without waiting for the
+// response (gather happens at the caller so scatters overlap).
+func (s *ShardedFeed) send(w *worker, req request) error {
+	select {
+	case w.mail <- req:
+		return nil
+	case <-w.done:
+		return ErrClosed
+	}
+}
+
+// recv waits for one response from a previously sent request.
+func (s *ShardedFeed) recv(w *worker, resp chan response) (response, error) {
+	select {
+	case r := <-resp:
+		return r, nil
+	case <-w.done:
+		return response{}, ErrClosed
+	}
+}
+
+// Do executes one batch: it splits the ops per shard by key hash, runs the
+// sub-batches concurrently, and merges the results back into the input
+// order. The error is non-nil only when the feed is closed.
+func (s *ShardedFeed) Do(ops []core.Op) ([]core.OpResult, error) {
+	n := len(s.workers)
+	s.batches.Add(1)
+	if n == 1 {
+		w := s.workers[0]
+		resp := make(chan response, 1)
+		if err := s.send(w, request{kind: reqOps, ops: ops, resp: resp}); err != nil {
+			return nil, err
+		}
+		r, err := s.recv(w, resp)
+		if err != nil {
+			return nil, err
+		}
+		return r.results, nil
+	}
+
+	// Scatter: split per shard, preserving each key's relative order.
+	subOps := make([][]core.Op, n)
+	subPos := make([][]int, n)
+	for i, op := range ops {
+		sh := ShardOf(op.Key, n)
+		subOps[sh] = append(subOps[sh], op)
+		subPos[sh] = append(subPos[sh], i)
+	}
+	resps := make([]chan response, n)
+	for sh := 0; sh < n; sh++ {
+		if len(subOps[sh]) == 0 {
+			continue
+		}
+		resps[sh] = make(chan response, 1)
+		if err := s.send(s.workers[sh], request{kind: reqOps, ops: subOps[sh], resp: resps[sh]}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Gather: merge per-shard results back into the caller's order.
+	out := make([]core.OpResult, len(ops))
+	for sh := 0; sh < n; sh++ {
+		if resps[sh] == nil {
+			continue
+		}
+		r, err := s.recv(s.workers[sh], resps[sh])
+		if err != nil {
+			return nil, err
+		}
+		for j, pos := range subPos[sh] {
+			out[pos] = r.results[j]
+		}
+	}
+	return out, nil
+}
+
+// broadcast sends one request kind to every shard and gathers the responses
+// in shard order.
+func (s *ShardedFeed) broadcast(kind reqKind) ([]response, error) {
+	resps := make([]chan response, len(s.workers))
+	for i, w := range s.workers {
+		resps[i] = make(chan response, 1)
+		if err := s.send(w, request{kind: kind, resp: resps[i]}); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]response, len(s.workers))
+	for i, w := range s.workers {
+		r, err := s.recv(w, resps[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Stats snapshots every shard and aggregates. With batches in flight the
+// per-shard snapshots are each internally consistent but may straddle a
+// batch; quiesce first for exact accounting (the tests do).
+func (s *ShardedFeed) Stats() (Stats, error) {
+	rs, err := s.broadcast(reqStats)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{
+		Shards:   len(s.workers),
+		Batches:  int(s.batches.Load()),
+		PerShard: make([]ShardStat, len(rs)),
+	}
+	for i, r := range rs {
+		st.PerShard[i] = r.stat
+		st.Ops += r.stat.Ops
+		st.BaseGas += r.stat.BaseGas
+		st.Feed = addFeedStats(st.Feed, r.stat.Feed)
+	}
+	if st.Ops > 0 {
+		st.GasPerOp = float64(st.Feed.FeedGas-st.BaseGas) / float64(st.Ops)
+	}
+	return st, nil
+}
+
+// Trace returns the merged serialized op order: shard 0's sub-trace, then
+// shard 1's, and so on. Splitting it back with ShardOf recovers each shard's
+// exact serialized order. Empty unless the feed records traces.
+func (s *ShardedFeed) Trace() ([]core.Op, error) {
+	ops, _, err := s.TraceResults()
+	return ops, err
+}
+
+// TraceResults returns the merged trace together with the per-op results
+// each op produced when it executed (index-aligned with the ops). The
+// equivalence tests replay the trace and compare against these.
+func (s *ShardedFeed) TraceResults() ([]core.Op, []core.OpResult, error) {
+	rs, err := s.broadcast(reqTrace)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ops []core.Op
+	var results []core.OpResult
+	for _, r := range rs {
+		ops = append(ops, r.trace...)
+		results = append(results, r.traceRes...)
+	}
+	return ops, results, nil
+}
+
+// ShardTraces returns each shard's serialized op order separately.
+func (s *ShardedFeed) ShardTraces() ([][]core.Op, error) {
+	rs, err := s.broadcast(reqTrace)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]core.Op, len(rs))
+	for i, r := range rs {
+		out[i] = r.trace
+	}
+	return out, nil
+}
+
+func (s *ShardedFeed) stopWorker(w *worker) {
+	select {
+	case w.mail <- request{kind: reqStop, resp: make(chan response, 1)}:
+	case <-w.done:
+	}
+	<-w.done
+}
+
+// Close stops every shard worker and waits for them to drain. Further calls
+// on the feed return ErrClosed; Close itself is idempotent.
+func (s *ShardedFeed) Close() {
+	s.closeOnce.Do(func() {
+		for _, w := range s.workers {
+			s.stopWorker(w)
+		}
+	})
+}
