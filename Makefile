@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke check clean
+.PHONY: all build test race vet bench-smoke docs-check check clean
 
 all: check
 
@@ -23,7 +23,12 @@ vet:
 bench-smoke:
 	$(GO) run ./cmd/grubbench -all -scale 0.05 -json BENCH_smoke.json
 
-check: build vet race bench-smoke
+# Docs gate: relative markdown links in README.md and docs/ must resolve,
+# and docs/API.md must document every route registered on the gateway mux.
+docs-check:
+	$(GO) run ./tools/docscheck
+
+check: build vet race bench-smoke docs-check
 
 clean:
 	$(GO) clean ./...

@@ -65,3 +65,10 @@ func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
 // BenchmarkGatewayExperiment runs the serving-layer experiment: ops/sec and
 // gas/op through the full HTTP gateway under concurrent clients.
 func BenchmarkGatewayExperiment(b *testing.B) { runExperiment(b, "gateway") }
+
+// BenchmarkShardExperiment runs the scatter-gather scaling experiment.
+func BenchmarkShardExperiment(b *testing.B) { runExperiment(b, "shard") }
+
+// BenchmarkPersistExperiment runs the durability experiment: WAL on/off
+// throughput and recovery time vs log length.
+func BenchmarkPersistExperiment(b *testing.B) { runExperiment(b, "persist") }

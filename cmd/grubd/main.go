@@ -5,13 +5,21 @@
 // when created with shards in its config (see internal/server and
 // internal/shard).
 //
+// With -data-dir the gateway is durable: every applied batch is logged
+// through a per-shard write-ahead log before it executes, -snapshot-every
+// controls how often each shard compacts its log into a state snapshot, and
+// a restart with the same -data-dir recovers every feed — same keys, same
+// replication decisions going forward, same cumulative Gas.
+//
 // On SIGINT or SIGTERM the daemon shuts down gracefully: it stops accepting
-// connections, finishes in-flight requests, drains every feed worker and
-// exits 0.
+// connections, finishes in-flight requests, drains every feed worker —
+// taking a final snapshot and flushing each feed's store when persistence
+// is on — and exits 0.
 //
 // Usage:
 //
-//	grubd [-addr :8080] [-max-body 8388608]
+//	grubd [-addr :8080] [-max-body 8388608] [-data-dir /var/lib/grubd]
+//	      [-snapshot-every 256] [-sync-writes]
 //
 // Then, for example:
 //
@@ -20,6 +28,7 @@
 //	     -d '{"ops":[{"type":"write","key":"ETH-USD","value":"MjE1MC43NQ=="}]}'
 //	curl localhost:8080/feeds/prices/stats
 //	curl localhost:8080/feeds/prices/shards
+//	curl -X POST localhost:8080/feeds/prices/snapshot
 package main
 
 import (
@@ -55,18 +64,26 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 	fs := flag.NewFlagSet("grubd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "POST body size cap in bytes (413 beyond it)")
+	dataDir := fs.String("data-dir", "", "persist feeds under this directory and recover them on start (empty = in-memory)")
+	snapshotEvery := fs.Int("snapshot-every", 256, "per-shard batches between automatic snapshots (0 = shutdown/explicit only)")
+	syncWrites := fs.Bool("sync-writes", false, "fsync every durable log append")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return serve(*addr, *maxBody, w, onReady, stop)
+	gopts := server.GatewayOptions{DataDir: *dataDir, SnapshotEvery: *snapshotEvery, SyncWrites: *syncWrites}
+	return serve(*addr, *maxBody, gopts, w, onReady, stop)
 }
 
-func serve(addr string, maxBody int64, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
-	ln, err := net.Listen("tcp", addr)
+func serve(addr string, maxBody int64, gopts server.GatewayOptions, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
+	g, err := server.NewGatewayWithOptions(gopts)
 	if err != nil {
 		return err
 	}
-	g := server.NewGateway()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		g.Close()
+		return err
+	}
 	srv := &http.Server{Handler: server.NewHandlerConfig(g, server.HandlerConfig{MaxBodyBytes: maxBody})}
 
 	sigc := make(chan os.Signal, 1)
@@ -94,6 +111,9 @@ func serve(addr string, maxBody int64, w io.Writer, onReady func(net.Addr), stop
 		g.Close()
 	}()
 
+	if gopts.DataDir != "" {
+		fmt.Fprintf(w, "grubd: persisting feeds under %s (%d recovered)\n", gopts.DataDir, len(g.Feeds()))
+	}
 	fmt.Fprintf(w, "grubd: gateway listening on http://%s\n", ln.Addr())
 	if onReady != nil {
 		onReady(ln.Addr())

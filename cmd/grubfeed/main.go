@@ -155,7 +155,12 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 	}
 	fmt.Fprintf(w, "load: %d feeds x YCSB-%s (%d shards each), %d clients x %d batches x %d ops\n",
 		cfg.feeds, spec.Name, max(cfg.shards, 1), cfg.clients, cfg.batches, cfg.batch)
-	res, err := server.RunLoad(server.NewClient(url), server.LoadSpec{
+	client := server.NewClient(url)
+	info, err := client.Info()
+	if err != nil {
+		return fmt.Errorf("gateway info: %w", err)
+	}
+	res, err := server.RunLoad(client, server.LoadSpec{
 		Prefix: "load", Feeds: cfg.feeds, Clients: cfg.clients,
 		Batches: cfg.batches, BatchOps: cfg.batch, Records: cfg.records,
 		Workload: spec, Policy: cfg.policy, K: cfg.k, Shards: cfg.shards,
@@ -172,5 +177,16 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 	}
 	fmt.Fprintf(w, "\nload results: %d ops in %v -> %.0f ops/sec, avg gas/op %.0f\n",
 		res.LoadOps, res.Elapsed.Round(time.Millisecond), res.OpsPerSec(), res.AvgGasPerOp())
+	if info.Persistent {
+		snapshots, logged := 0, 0
+		for _, st := range res.Stats {
+			if st.Persist != nil {
+				snapshots += st.Persist.Snapshots
+				logged += st.Persist.LoggedBatches
+			}
+		}
+		fmt.Fprintf(w, "persistence: data-dir %s, %d snapshots taken, %d batches in the durable log\n",
+			info.DataDir, snapshots, logged)
+	}
 	return nil
 }

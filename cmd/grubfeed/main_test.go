@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"grub/internal/server"
 )
 
 func TestPolicies(t *testing.T) {
@@ -57,6 +60,44 @@ func TestLoadSharded(t *testing.T) {
 	}
 	if !strings.Contains(out, "ops/sec") {
 		t.Errorf("throughput line missing:\n%s", out)
+	}
+}
+
+// TestLoadPersistentGateway points the load driver at a gateway running
+// with a data directory: the summary must report the data-dir and the
+// snapshot count.
+func TestLoadPersistentGateway(t *testing.T) {
+	dir := t.TempDir()
+	g, err := server.NewGatewayWithOptions(server.GatewayOptions{DataDir: dir, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	srv := httptest.NewServer(server.NewHandler(g))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	args := []string{"-load", "-gateway", srv.URL, "-feeds", "2", "-clients", "4",
+		"-batches", "3", "-batch", "4", "-records", "8", "-workload", "B"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "persistence: data-dir "+dir) {
+		t.Errorf("data-dir line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "snapshots taken") {
+		t.Errorf("snapshot count missing:\n%s", out)
+	}
+	// The in-memory standalone path must NOT claim persistence.
+	var memBuf bytes.Buffer
+	memArgs := []string{"-load", "-feeds", "1", "-clients", "2", "-batches", "1",
+		"-batch", "4", "-records", "8", "-workload", "B"}
+	if err := run(memArgs, &memBuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(memBuf.String(), "persistence:") {
+		t.Errorf("in-memory load claims persistence:\n%s", memBuf.String())
 	}
 }
 

@@ -100,6 +100,7 @@ var Registry = []Experiment{
 	{ID: "table5", Title: "Aggregated Gas under ethPriceOracle (static vs adaptive K)", Run: RunTable5},
 	{ID: "gateway", Title: "Concurrent multi-feed gateway throughput (ops/sec, gas/op)", Run: RunGateway},
 	{ID: "shard", Title: "Sharded feed scatter-gather scaling at 1/2/4/8 shards (ops/sec, gas/op)", Run: RunShard},
+	{ID: "persist", Title: "Durable gateway: WAL on/off throughput and recovery time vs log length", Run: RunPersist},
 }
 
 // ByID resolves an experiment.

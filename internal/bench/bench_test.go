@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig5", "table3", "fig6", "table6",
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
-		"gateway", "shard",
+		"gateway", "shard", "persist",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -147,5 +147,28 @@ func TestShardSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "shards") {
 		t.Errorf("shard report incomplete:\n%s", buf.String())
+	}
+}
+
+func TestPersistSmoke(t *testing.T) {
+	e, err := ByID("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	var buf bytes.Buffer
+	cfg := Config{W: &buf, Scale: smokeScale, Seed: 7,
+		Metric: func(name string, v float64) { metrics[name] = v }}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"memory.opsPerSec", "wal.opsPerSec", "recovery.snapshot.ms"} {
+		if _, ok := metrics[name]; !ok {
+			t.Errorf("metric %s missing: %v", name, metrics)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "WAL overhead") || !strings.Contains(out, "recovery") {
+		t.Errorf("persist report incomplete:\n%s", out)
 	}
 }

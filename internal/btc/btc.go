@@ -24,6 +24,7 @@ const HashSize = 32
 // Hash is a double-SHA256 digest.
 type Hash [HashSize]byte
 
+// String renders the hash's leading bytes for logs and test output.
 func (h Hash) String() string { return fmt.Sprintf("%x", h[:4]) }
 
 // doubleSHA computes SHA256(SHA256(b)).

@@ -95,12 +95,26 @@ func NewFeed(c *chain.Chain, p policy.Policy, opts Options) *Feed {
 		opts:      opts,
 		LastValue: make(map[string][]byte),
 	}
+	registerReader(c, f, opts.Manager)
+	// Genesis: put the (empty-set) digest on-chain so the very first
+	// deliver can verify against something. A pure-BL2 feed maintains no
+	// digest and skips this.
+	if !opts.NoADS {
+		f.mustFlush()
+	}
+	return f
+}
+
+// registerReader installs the generic data-user contract the driver reads
+// through (shared by NewFeed and RestoreFeed: contract code is re-registered,
+// never serialized).
+func registerReader(c *chain.Chain, f *Feed, manager chain.Address) {
 	c.Register(readerAddr, "read", func(ctx *chain.Ctx, args any) (any, error) {
 		key, ok := args.(string)
 		if !ok {
 			return nil, fmt.Errorf("core: reader args %T", args)
 		}
-		return ctx.Call(opts.Manager, "gGet", GetArgs{
+		return ctx.Call(manager, "gGet", GetArgs{
 			Key:      key,
 			Callback: Callback{Contract: readerAddr, Method: "onData"},
 		})
@@ -118,13 +132,6 @@ func NewFeed(c *chain.Chain, p policy.Policy, opts Options) *Feed {
 		}
 		return nil, nil
 	})
-	// Genesis: put the (empty-set) digest on-chain so the very first
-	// deliver can verify against something. A pure-BL2 feed maintains no
-	// digest and skips this.
-	if !opts.NoADS {
-		f.mustFlush()
-	}
-	return f
 }
 
 // Delivered returns how many reads completed with a value.

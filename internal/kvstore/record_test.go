@@ -1,0 +1,36 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTypedRecordRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		kind    RecordKind
+		seq     uint64
+		payload []byte
+	}{
+		{RecordOps, 1, []byte(`[{"type":"read","key":"k"}]`)},
+		{RecordSnapshot, 1 << 40, []byte("state")},
+		{RecordReserved + 3, 0, nil},
+	} {
+		enc := EncodeRecord(tc.kind, tc.seq, tc.payload)
+		kind, seq, payload, err := DecodeTypedRecord(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", tc, err)
+		}
+		if kind != tc.kind || seq != tc.seq || !bytes.Equal(payload, tc.payload) {
+			t.Errorf("roundtrip (%d,%d,%q) -> (%d,%d,%q)", tc.kind, tc.seq, tc.payload, kind, seq, payload)
+		}
+	}
+}
+
+func TestTypedRecordRejectsGarbage(t *testing.T) {
+	if _, _, _, err := DecodeTypedRecord([]byte("short")); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, _, _, err := DecodeTypedRecord(make([]byte, 12)); err == nil {
+		t.Error("kind-0 record accepted")
+	}
+}

@@ -154,3 +154,161 @@ func truncateTo(t *testing.T, path string, size int) {
 		t.Fatal(err)
 	}
 }
+
+// TestSnapshotWALMergedView covers the snapshot/WAL seam: a flush in the
+// middle of an append stream moves the prefix into an SSTable and restarts
+// the WAL, so after reopening, reads and iterators must serve the MERGED
+// view — flushed base data, overwrites and deletes that only ever reached
+// the new WAL, and fresh inserts — with WAL entries shadowing the SSTable.
+func TestSnapshotWALMergedView(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base data, flushed to an SSTable (the "snapshot" half).
+	for i := 0; i < 8; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("base-%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-append mutations that live only in the restarted WAL: an
+	// overwrite, a delete and fresh inserts.
+	if err := db.Put([]byte("base-3"), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("base-5")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("new-%d", i)), []byte("n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close without flushing: the second wave exists ONLY in the WAL.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	want := map[string]string{
+		"base-0": "v0", "base-1": "v1", "base-2": "v2", "base-3": "updated",
+		"base-4": "v4", "base-6": "v6", "base-7": "v7",
+		"new-0": "n", "new-1": "n", "new-2": "n",
+	}
+	got := map[string]string{}
+	last := ""
+	for it := db2.NewIterator(); it.Valid(); it.Next() {
+		k := string(it.Key())
+		if last != "" && k <= last {
+			t.Fatalf("iterator out of order: %q after %q", k, last)
+		}
+		last = k
+		got[k] = string(it.Value())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged view has %d keys (%v), want %d", len(got), got, len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("merged view %s = %q, want %q", k, got[k], v)
+		}
+	}
+	if _, err := db2.Get([]byte("base-5")); err != ErrNotFound {
+		t.Errorf("deleted key visible after reopen: %v", err)
+	}
+}
+
+// TestSnapshotWALTornTailMergedView layers the two recovery mechanisms: a
+// flushed SSTable plus a WAL whose final record is torn. The merged view
+// must hold the SSTable data and the intact WAL prefix; the torn batch
+// vanishes whole.
+func TestSnapshotWALTornTailMergedView(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("flushed"), []byte("f")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("intact"), []byte("i")); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch()
+	b.Put([]byte("torn-a"), []byte("x"))
+	b.Put([]byte("flushed"), []byte("overwrite-lost")) // dies with the tear
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncateTo(t, walPath, int(fi.Size())-3)
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	defer db2.Close()
+	got := map[string]string{}
+	for it := db2.NewIterator(); it.Valid(); it.Next() {
+		got[string(it.Key())] = string(it.Value())
+	}
+	want := map[string]string{"flushed": "f", "intact": "i"}
+	if len(got) != len(want) || got["flushed"] != "f" || got["intact"] != "i" {
+		t.Fatalf("merged view after tear = %v, want %v", got, want)
+	}
+}
+
+// TestCheckpointReplaysNothing pins the snapshot API: after Checkpoint the
+// store's live state is entirely in SSTables, the WAL is empty, and a
+// reopen replays no log records.
+func TestCheckpointReplaysNothing(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete([]byte("k03")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err == nil && fi.Size() != 0 {
+		t.Errorf("WAL holds %d bytes after Checkpoint, want empty", fi.Size())
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.Len(); n != 15 {
+		t.Errorf("reopened store has %d keys, want 15", n)
+	}
+}

@@ -118,6 +118,26 @@ func (c *Client) TraceResults(id string) ([]Op, []OpResult, error) {
 	return out.Ops, out.Results, nil
 }
 
+// Snapshot forces a durable snapshot of one feed and returns its
+// durability counters (gateways started with a data directory only).
+func (c *Client) Snapshot(id string) (shard.PersistStats, error) {
+	var out SnapshotResponse
+	if err := c.call(http.MethodPost, "/feeds/"+id+"/snapshot", nil, &out); err != nil {
+		return shard.PersistStats{}, err
+	}
+	return out.Persist, nil
+}
+
+// Info fetches gateway-level information (persistence mode, data dir, feed
+// count).
+func (c *Client) Info() (InfoResponse, error) {
+	var out InfoResponse
+	if err := c.call(http.MethodGet, "/info", nil, &out); err != nil {
+		return InfoResponse{}, err
+	}
+	return out, nil
+}
+
 // ShardStats fetches the per-shard breakdown of one feed's counters.
 func (c *Client) ShardStats(id string) ([]shard.ShardStat, error) {
 	var out ShardsResponse

@@ -44,6 +44,23 @@ type ShardsResponse struct {
 	Shards []shard.ShardStat `json:"shards"`
 }
 
+// SnapshotResponse is the body of POST /feeds/{id}/snapshot: the feed's
+// durability counters after the snapshot completed.
+type SnapshotResponse struct {
+	ID      string             `json:"id"`
+	Persist shard.PersistStats `json:"persist"`
+}
+
+// InfoResponse is the body of GET /info.
+type InfoResponse struct {
+	// Persistent reports whether the gateway runs with a data directory.
+	Persistent bool `json:"persistent"`
+	// DataDir is the gateway's data directory ("" when in-memory).
+	DataDir string `json:"dataDir,omitempty"`
+	// Feeds is the number of hosted feeds.
+	Feeds int `json:"feeds"`
+}
+
 // errorBody is the JSON shape of every non-2xx response.
 type errorBody struct {
 	Error string `json:"error"`
@@ -63,6 +80,9 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrFeedExists):
 		status = http.StatusConflict
 	case errors.Is(err, ErrBadConfig):
+		status = http.StatusBadRequest
+	case errors.Is(err, shard.ErrNotPersistent):
+		// Snapshots need a gateway started with a data directory.
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
@@ -147,6 +167,23 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, ShardsResponse{ID: r.PathValue("id"), Shards: per})
+	})
+
+	mux.HandleFunc("POST /feeds/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		ps, err := g.Snapshot(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{ID: r.PathValue("id"), Persist: ps})
+	})
+
+	mux.HandleFunc("GET /info", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, InfoResponse{
+			Persistent: g.DataDir() != "",
+			DataDir:    g.DataDir(),
+			Feeds:      len(g.Feeds()),
+		})
 	})
 
 	mux.HandleFunc("GET /feeds/{id}/trace", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"grub/internal/workload/ycsb"
+)
+
+// startPersistentGateway brings up a persistent gateway over HTTP and
+// returns it with a connected client. Shutdown is the caller's: either
+// g.Close() (graceful) or g.Kill() (crash).
+func startPersistentGateway(t *testing.T, dataDir string, snapshotEvery int) (*Gateway, *Client, func()) {
+	t.Helper()
+	g, err := NewGatewayWithOptions(GatewayOptions{DataDir: dataDir, SnapshotEvery: snapshotEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(g))
+	return g, NewClient(srv.URL), srv.Close
+}
+
+// gatewayFeeds is the heterogeneous feed mix every gateway persistence test
+// hosts: different policies, shard counts and epoch lengths.
+func gatewayFeeds() []FeedConfig {
+	return []FeedConfig{
+		{ID: "prices", Policy: "memoryless", K: 2, Shards: 4, EpochOps: 8},
+		{ID: "relay", Policy: "memorizing", K: 2, Shards: 1, EpochOps: 4},
+		{ID: "archive", Policy: "bl1", Shards: 2, EpochOps: 8},
+	}
+}
+
+// feedBatches builds each feed's deterministic batch sequence.
+func feedBatches(n, opsPer int) map[string][][]Op {
+	out := make(map[string][][]Op)
+	for fi, cfg := range gatewayFeeds() {
+		d := ycsb.NewDriver(ycsb.WorkloadA, 24, 32, uint64(100+fi))
+		var batches [][]Op
+		for i := 0; i < n; i++ {
+			batches = append(batches, FromWorkload(d.Generate(opsPer)))
+		}
+		out[cfg.ID] = batches
+	}
+	return out
+}
+
+// driveRange applies each feed's batches[from:to] concurrently (one client
+// goroutine per feed; each feed's own order stays deterministic).
+func driveRange(t *testing.T, c *Client, batches map[string][][]Op, from, to int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(batches))
+	for id, bs := range batches {
+		wg.Add(1)
+		go func(id string, bs [][]Op) {
+			defer wg.Done()
+			for _, b := range bs[from:to] {
+				if _, err := c.Do(id, b); err != nil {
+					errs <- fmt.Errorf("feed %s: %w", id, err)
+					return
+				}
+			}
+		}(id, bs)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// readbackOps builds one identical read batch over every key a feed's
+// batches touched.
+func readbackOps(batches [][]Op) []Op {
+	seen := make(map[string]bool)
+	var reads []Op
+	for _, b := range batches {
+		for _, op := range b {
+			if !seen[op.Key] {
+				seen[op.Key] = true
+				reads = append(reads, Op{Type: "read", Key: op.Key})
+			}
+		}
+	}
+	return reads
+}
+
+// TestGatewayCrashRecoveryEquivalence is the HTTP-layer acceptance test:
+// kill the gateway mid-load at three different points, restart from the
+// data directory, finish the load, and every feed must match an
+// uninterrupted single-process run exactly — keys and values, cumulative
+// gas, delivered counts.
+func TestGatewayCrashRecoveryEquivalence(t *testing.T) {
+	const totalBatches = 12
+	for _, cut := range []int{2, 6, 10} {
+		for _, snapEvery := range []int{0, 3} {
+			t.Run(fmt.Sprintf("cut=%d/snapEvery=%d", cut, snapEvery), func(t *testing.T) {
+				batches := feedBatches(totalBatches, 8)
+
+				// Uninterrupted reference: an in-memory gateway takes the
+				// whole load in one process.
+				refG, err := NewGatewayWithOptions(GatewayOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				refSrv := httptest.NewServer(NewHandler(refG))
+				defer refSrv.Close()
+				defer refG.Close()
+				refC := NewClient(refSrv.URL)
+				for _, cfg := range gatewayFeeds() {
+					if err := refC.CreateFeed(cfg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				driveRange(t, refC, batches, 0, totalBatches)
+
+				// Crash run: load until cut, kill without flushing.
+				dir := t.TempDir()
+				g1, c1, stop1 := startPersistentGateway(t, dir, snapEvery)
+				for _, cfg := range gatewayFeeds() {
+					if err := c1.CreateFeed(cfg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				driveRange(t, c1, batches, 0, cut)
+				g1.Kill()
+				stop1()
+
+				// Restart from the data dir: the manifest recreates every
+				// feed and each shard recovers its durable log.
+				g2, c2, stop2 := startPersistentGateway(t, dir, snapEvery)
+				defer stop2()
+				defer g2.Close()
+				feeds, err := c2.Feeds()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(feeds) != len(gatewayFeeds()) {
+					t.Fatalf("recovered %d feeds (%v), want %d", len(feeds), feeds, len(gatewayFeeds()))
+				}
+				driveRange(t, c2, batches, cut, totalBatches)
+
+				for _, cfg := range gatewayFeeds() {
+					reads := readbackOps(batches[cfg.ID])
+					got, err := c2.Do(cfg.ID, reads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := refC.Do(cfg.ID, reads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("feed %s: read-back diverges after recovery", cfg.ID)
+					}
+					gotSt, err := c2.Stats(cfg.ID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantSt, err := refC.Stats(cfg.ID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotSt.Feed != wantSt.Feed {
+						t.Errorf("feed %s: stats diverge:\n got %+v\nwant %+v", cfg.ID, gotSt.Feed, wantSt.Feed)
+					}
+					if gotSt.Ops != wantSt.Ops {
+						t.Errorf("feed %s: ops = %d, want %d", cfg.ID, gotSt.Ops, wantSt.Ops)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGatewaySnapshotEndpoint exercises POST /feeds/{id}/snapshot and the
+// persist fields of GET /feeds/{id}/stats and GET /info.
+func TestGatewaySnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	g, c, stop := startPersistentGateway(t, dir, 0)
+	defer stop()
+	defer g.Close()
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Persistent || info.DataDir != dir {
+		t.Errorf("info = %+v, want persistent with dataDir %q", info, dir)
+	}
+
+	if err := c.CreateFeed(FeedConfig{ID: "f", Shards: 2, EpochOps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	d := ycsb.NewDriver(ycsb.WorkloadA, 16, 32, 5)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do("f", FromWorkload(d.Generate(8))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Persist == nil || st.Persist.LoggedBatches == 0 {
+		t.Fatalf("stats before snapshot: persist = %+v, want logged batches", st.Persist)
+	}
+	ps, err := c.Snapshot("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Snapshots != 2 || ps.LoggedBatches != 0 {
+		t.Errorf("snapshot counters = %+v, want 2 snapshots (one per shard), 0 logged", ps)
+	}
+
+	// In-memory gateways refuse snapshots with 400.
+	memG := NewGateway()
+	memSrv := httptest.NewServer(NewHandler(memG))
+	defer memSrv.Close()
+	defer memG.Close()
+	memC := NewClient(memSrv.URL)
+	if err := memC.CreateFeed(FeedConfig{ID: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memC.Snapshot("m"); err == nil {
+		t.Error("Snapshot on in-memory gateway succeeded, want error")
+	}
+	memInfo, err := memC.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memInfo.Persistent || memInfo.DataDir != "" {
+		t.Errorf("in-memory info = %+v", memInfo)
+	}
+}
+
+// TestGatewayCloseFeedRemovesStore pins DELETE semantics on a persistent
+// gateway: the feed leaves the manifest and its store directory, so a
+// restart neither lists nor resurrects it.
+func TestGatewayCloseFeedRemovesStore(t *testing.T) {
+	dir := t.TempDir()
+	g, c, stop := startPersistentGateway(t, dir, 0)
+	if err := c.CreateFeed(FeedConfig{ID: "gone", EpochOps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateFeed(FeedConfig{ID: "kept", EpochOps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("gone", []Op{{Type: "write", Key: "k", Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseFeed("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "feeds", feedDirName("gone"))); !os.IsNotExist(err) {
+		t.Errorf("store dir for closed feed still exists (err=%v)", err)
+	}
+	g.Close()
+	stop()
+
+	g2, c2, stop2 := startPersistentGateway(t, dir, 0)
+	defer stop2()
+	defer g2.Close()
+	feeds, err := c2.Feeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(feeds, []string{"kept"}) {
+		t.Errorf("feeds after restart = %v, want [kept]", feeds)
+	}
+}
+
+// TestFeedDirName pins the ID-to-directory encoding: path-safe IDs keep
+// their (prefixed) name, everything else becomes hex, and the two
+// namespaces cannot collide.
+func TestFeedDirName(t *testing.T) {
+	if got := feedDirName("prices-1.v2"); got != "d-prices-1.v2" {
+		t.Errorf("safe ID mangled: %q", got)
+	}
+	ids := []string{"../../etc", "a/b", ".hidden", "sp ace", "", "x-612f62", "a_b", "prices"}
+	seen := map[string]string{}
+	for _, id := range ids {
+		got := feedDirName(id)
+		if got != filepath.Base(got) || got == "" || got[0] == '.' {
+			t.Errorf("feedDirName(%q) = %q is not a safe single path element", id, got)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("IDs %q and %q collide on %q", prev, id, got)
+		}
+		seen[got] = id
+	}
+	// The historical collision: an unsafe ID's hex encoding vs a safe ID
+	// that happens to spell that encoding.
+	if feedDirName("a/b") == feedDirName(feedDirName("a/b")) {
+		t.Error("hex encoding collides with a literal safe ID")
+	}
+}

@@ -8,16 +8,25 @@
 // never inside one shard. An unsharded feed (Shards <= 1) is exactly PR 1's
 // one-worker-per-feed gateway.
 //
+// Started with a data directory (GatewayOptions.DataDir, grubd's
+// -data-dir), the gateway is durable: every applied batch is logged through
+// the per-shard kvstore write-ahead log before it executes, snapshots
+// compact the logs, and a restart recovers every feed — same keys, same
+// policy decisions going forward, same cumulative Gas (see internal/shard's
+// persistence layer and the docs/ARCHITECTURE.md recovery walkthrough).
+//
 // The package exposes both a Go API (Gateway, for embedding) and an
 // HTTP/JSON API (NewHandler + Client, served by cmd/grubd):
 //
-//	POST   /feeds             create a feed from a FeedConfig
-//	GET    /feeds             list feed IDs
-//	POST   /feeds/{id}/ops    execute a batch of read/write/scan ops
-//	GET    /feeds/{id}/stats  gas counters and replication state (aggregate)
-//	GET    /feeds/{id}/shards per-shard stats breakdown
-//	GET    /feeds/{id}/trace  serialized op order (when RecordTrace is set)
-//	DELETE /feeds/{id}        close a feed
+//	POST   /feeds               create a feed from a FeedConfig
+//	GET    /feeds               list feed IDs
+//	GET    /info                gateway info (persistence mode, data dir)
+//	POST   /feeds/{id}/ops      execute a batch of read/write/scan ops
+//	GET    /feeds/{id}/stats    gas counters and replication state (aggregate)
+//	GET    /feeds/{id}/shards   per-shard stats breakdown
+//	GET    /feeds/{id}/trace    serialized op order (when RecordTrace is set)
+//	POST   /feeds/{id}/snapshot force a durable snapshot (persistent gateways)
+//	DELETE /feeds/{id}          close a feed
 package server
 
 import (
@@ -91,11 +100,9 @@ type FeedConfig struct {
 	RecordTrace bool `json:"recordTrace,omitempty"`
 }
 
-// NewFeed builds the single feed a config describes (ignoring Shards), on a
-// fresh simulated chain. The shard workers use it once per shard;
-// single-threaded replays (tests, the bench equivalence check) use it to
-// build the reference feed the same way.
-func NewFeed(cfg FeedConfig) (*core.Feed, error) {
+// feedParts resolves a config into the policy and options every feed
+// constructor (fresh or restored) shares.
+func feedParts(cfg FeedConfig) (policy.Policy, core.Options, error) {
 	k := cfg.K
 	if k <= 0 {
 		k = 2
@@ -113,24 +120,66 @@ func NewFeed(cfg FeedConfig) (*core.Feed, error) {
 		pol = policy.Always{}
 		noADS = true
 	default:
-		return nil, fmt.Errorf("server: %w: unknown policy %q", ErrBadConfig, cfg.Policy)
+		return nil, core.Options{}, fmt.Errorf("server: %w: unknown policy %q", ErrBadConfig, cfg.Policy)
 	}
-	c := chain.New(sim.NewClock(0), chain.DefaultParams(), gas.DefaultSchedule())
 	opts := core.Options{
 		EpochOps:        cfg.EpochOps,
 		MaxReplicas:     cfg.MaxReplicas,
 		DeferPromotions: cfg.DeferPromotions,
 		NoADS:           noADS,
 	}
-	return core.NewFeed(c, pol, opts), nil
+	return pol, opts, nil
+}
+
+// newFeedChain builds the fresh simulated chain a gateway feed runs on.
+func newFeedChain() *chain.Chain {
+	return chain.New(sim.NewClock(0), chain.DefaultParams(), gas.DefaultSchedule())
+}
+
+// NewFeed builds the single feed a config describes (ignoring Shards), on a
+// fresh simulated chain. The shard workers use it once per shard;
+// single-threaded replays (tests, the bench equivalence check) use it to
+// build the reference feed the same way.
+func NewFeed(cfg FeedConfig) (*core.Feed, error) {
+	pol, opts, err := feedParts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewFeed(newFeedChain(), pol, opts), nil
+}
+
+// RestoreFeedFromConfig rebuilds one feed from a snapshot, wired exactly as
+// NewFeed would wire it for the same config. The shard recovery path uses it
+// to reconstruct each shard after a restart.
+func RestoreFeedFromConfig(cfg FeedConfig, snap *core.FeedSnapshot) (*core.Feed, error) {
+	pol, opts, err := feedParts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.RestoreFeed(newFeedChain(), pol, opts, snap)
 }
 
 // NewShardedFeed builds the sharded feed engine a config describes: Shards
 // identically-configured feeds (each on its own chain) behind one
-// scatter-gather front. It is how the gateway hosts every feed.
+// scatter-gather front. It is how the gateway hosts every in-memory feed.
 func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
+	return newShardedFeed(cfg, nil)
+}
+
+// newShardedFeed builds a feed's shard engine, durable when persist is
+// non-nil (in which case whatever state persist.Dir already holds is
+// recovered first).
+func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions) (*shard.ShardedFeed, error) {
+	if _, _, err := feedParts(cfg); err != nil {
+		return nil, err // reject bad configs before touching disk
+	}
+	if persist != nil {
+		persist.Restore = func(_ int, snap *core.FeedSnapshot) (*core.Feed, error) {
+			return RestoreFeedFromConfig(cfg, snap)
+		}
+	}
 	return shard.New(
-		shard.Options{Shards: cfg.Shards, RecordTrace: cfg.RecordTrace},
+		shard.Options{Shards: cfg.Shards, RecordTrace: cfg.RecordTrace, Persist: persist},
 		func(int) (*core.Feed, error) { return NewFeed(cfg) },
 	)
 }
@@ -147,43 +196,78 @@ type Stats struct {
 	Feed    core.FeedStats `json:"feed"`
 	// GasPerOp is feed-layer Gas net of genesis divided by executed ops.
 	GasPerOp float64 `json:"gasPerOp"`
+	// Persist reports durability counters summed over shards (nil on an
+	// in-memory gateway).
+	Persist *shard.PersistStats `json:"persist,omitempty"`
+}
+
+// feedEntry is one hosted feed: its engine plus the config it was created
+// from (the config is what the manifest persists and what recovery rebuilds
+// from).
+type feedEntry struct {
+	sf  *shard.ShardedFeed
+	cfg FeedConfig
+	dir string // on-disk store, "" for in-memory feeds
 }
 
 // Gateway hosts many feeds and routes batches to their shard engines. All
 // methods are safe for concurrent use.
 type Gateway struct {
-	mu     sync.RWMutex
-	feeds  map[string]*shard.ShardedFeed
-	closed bool
+	opts GatewayOptions
+
+	// createMu serializes feed creation/removal so two creates of the same
+	// ID never race on one on-disk store directory.
+	createMu sync.Mutex
+	mu       sync.RWMutex
+	feeds    map[string]*feedEntry
+	closed   bool
 }
 
-// NewGateway returns an empty gateway.
+// NewGateway returns an empty in-memory gateway.
 func NewGateway() *Gateway {
-	return &Gateway{feeds: make(map[string]*shard.ShardedFeed)}
+	g, _ := NewGatewayWithOptions(GatewayOptions{}) // no data dir: cannot fail
+	return g
 }
 
 // CreateFeed builds the (possibly sharded) feed cfg describes and starts
-// its workers.
+// its workers. On a persistent gateway the feed's config is recorded in the
+// data directory's manifest first, so a crash at any point either recovers
+// the feed (possibly empty) or never knew it.
 func (g *Gateway) CreateFeed(cfg FeedConfig) error {
 	if cfg.ID == "" {
 		return fmt.Errorf("server: %w: feed id required", ErrBadConfig)
 	}
-	sf, err := NewShardedFeed(cfg)
-	if err != nil {
-		return err
-	}
-	g.mu.Lock()
-	if g.closed {
-		g.mu.Unlock()
-		sf.Close()
+	g.createMu.Lock()
+	defer g.createMu.Unlock()
+	g.mu.RLock()
+	closed := g.closed
+	_, exists := g.feeds[cfg.ID]
+	g.mu.RUnlock()
+	if closed {
 		return fmt.Errorf("server: %w", ErrClosed)
 	}
-	if _, ok := g.feeds[cfg.ID]; ok {
-		g.mu.Unlock()
-		sf.Close()
+	if exists {
 		return fmt.Errorf("server: %w: %q", ErrFeedExists, cfg.ID)
 	}
-	g.feeds[cfg.ID] = sf
+	entry := &feedEntry{cfg: cfg}
+	var persist *shard.PersistOptions
+	if g.persistent() {
+		entry.dir = g.feedDir(cfg.ID)
+		persist = g.persistOptions(entry.dir)
+		if err := g.writeManifestWith(cfg); err != nil {
+			return err
+		}
+	}
+	sf, err := newShardedFeed(cfg, persist)
+	if err != nil {
+		if g.persistent() {
+			g.writeManifestWithout(cfg.ID) // roll the reservation back
+		}
+		return err
+	}
+	entry.sf = sf
+	g.mu.Lock()
+	g.feeds[cfg.ID] = entry
 	g.mu.Unlock()
 	return nil
 }
@@ -203,12 +287,12 @@ func (g *Gateway) Feeds() []string {
 // lookup resolves a feed by ID.
 func (g *Gateway) lookup(id string) (*shard.ShardedFeed, error) {
 	g.mu.RLock()
-	sf, ok := g.feeds[id]
+	e, ok := g.feeds[id]
 	g.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
 	}
-	return sf, nil
+	return e.sf, nil
 }
 
 // wrapClosed maps the shard engine's closed error onto the gateway's
@@ -254,7 +338,23 @@ func (g *Gateway) Stats(id string) (Stats, error) {
 		Batches:  st.Batches,
 		Feed:     st.Feed,
 		GasPerOp: st.GasPerOp,
+		Persist:  st.Persist,
 	}, nil
+}
+
+// Snapshot forces an immediate durable snapshot of one feed (every shard
+// serializes its state and compacts its log). It fails with
+// shard.ErrNotPersistent on an in-memory gateway.
+func (g *Gateway) Snapshot(id string) (shard.PersistStats, error) {
+	sf, err := g.lookup(id)
+	if err != nil {
+		return shard.PersistStats{}, err
+	}
+	ps, err := sf.Snapshot()
+	if err != nil {
+		return shard.PersistStats{}, wrapClosed(id, err)
+	}
+	return ps, nil
 }
 
 // ShardStats returns the per-shard breakdown of one feed's counters.
@@ -294,30 +394,58 @@ func (g *Gateway) TraceResults(id string) ([]Op, []OpResult, error) {
 	return ops, results, nil
 }
 
-// CloseFeed stops a feed's shard workers and forgets it.
+// CloseFeed stops a feed's shard workers and forgets it. On a persistent
+// gateway the feed also leaves the manifest and its store directory is
+// deleted: an explicitly closed feed must not resurrect on restart.
 func (g *Gateway) CloseFeed(id string) error {
+	g.createMu.Lock()
+	defer g.createMu.Unlock()
 	g.mu.Lock()
-	sf, ok := g.feeds[id]
+	e, ok := g.feeds[id]
 	delete(g.feeds, id)
 	g.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
 	}
-	sf.Close()
+	e.sf.Close()
+	if e.dir != "" {
+		if err := g.writeManifestWithout(id); err != nil {
+			return err
+		}
+		return shard.RemoveStore(e.dir)
+	}
 	return nil
 }
 
-// Close stops every feed. The gateway accepts no new feeds afterwards.
+// Close stops every feed; persistent feeds take a final snapshot and flush
+// their stores on the way down (drain-then-flush), and the manifest keeps
+// every feed for the next start. The gateway accepts no new feeds
+// afterwards. Holding createMu serializes shutdown against in-flight
+// CreateFeed calls: a create either completes before the drain (and its
+// feed is closed here) or observes closed and never starts workers.
 func (g *Gateway) Close() {
+	g.shutdown(func(sf *shard.ShardedFeed) { sf.Close() })
+}
+
+// Kill stops every feed WITHOUT final snapshots or store flushes,
+// simulating a process crash for the recovery tests; production shutdown is
+// Close.
+func (g *Gateway) Kill() {
+	g.shutdown(func(sf *shard.ShardedFeed) { sf.Kill() })
+}
+
+func (g *Gateway) shutdown(stop func(*shard.ShardedFeed)) {
+	g.createMu.Lock()
+	defer g.createMu.Unlock()
 	g.mu.Lock()
 	g.closed = true
-	feeds := make([]*shard.ShardedFeed, 0, len(g.feeds))
-	for id, sf := range g.feeds {
-		feeds = append(feeds, sf)
+	feeds := make([]*feedEntry, 0, len(g.feeds))
+	for id, e := range g.feeds {
+		feeds = append(feeds, e)
 		delete(g.feeds, id)
 	}
 	g.mu.Unlock()
-	for _, sf := range feeds {
-		sf.Close()
+	for _, e := range feeds {
+		stop(e.sf)
 	}
 }

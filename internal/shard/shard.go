@@ -55,9 +55,18 @@ type Options struct {
 	Shards int
 	// RecordTrace keeps each shard's serialized op order (and per-op
 	// results) in memory so equivalence tests can replay it. Off by
-	// default: the trace grows without bound.
+	// default: the trace grows without bound. With persistence enabled,
+	// a recovered feed's trace restarts at the newest snapshot (earlier
+	// ops were compacted away).
 	RecordTrace bool
+	// Persist, when non-nil, backs every shard with a durable op log and
+	// snapshot store (see persist.go); New recovers whatever state the
+	// directory already holds.
+	Persist *PersistOptions
 }
+
+// ErrNotPersistent is returned by Snapshot on a feed without persistence.
+var ErrNotPersistent = errors.New("shard: feed has no persistence")
 
 // ShardStat is one shard's share of a sharded feed's accounting.
 type ShardStat struct {
@@ -69,6 +78,9 @@ type ShardStat struct {
 	// BaseGas is the shard's genesis digest cost, excluded from GasPerOp.
 	BaseGas  gas.Gas `json:"baseGas"`
 	GasPerOp float64 `json:"gasPerOp"`
+	// Persist reports the shard's durability counters (nil without
+	// persistence).
+	Persist *PersistStat `json:"persist,omitempty"`
 }
 
 // Stats aggregates a sharded feed: summed gas counters and read accounting
@@ -84,6 +96,9 @@ type Stats struct {
 	BaseGas  gas.Gas        `json:"baseGas"`
 	GasPerOp float64        `json:"gasPerOp"`
 	PerShard []ShardStat    `json:"perShard"`
+	// Persist sums the per-shard durability counters (nil without
+	// persistence).
+	Persist *PersistStats `json:"persist,omitempty"`
 }
 
 // addFeedStats sums two snapshots field-wise. Summing Height/TxCount is
@@ -108,7 +123,9 @@ const (
 	reqOps reqKind = iota
 	reqStats
 	reqTrace
-	reqStop
+	reqSnapshot
+	reqStop // graceful: final snapshot (if persistent), close store
+	reqKill // crash simulation: abandon the store as-is
 )
 
 type request struct {
@@ -122,6 +139,31 @@ type response struct {
 	stat     ShardStat
 	trace    []core.Op
 	traceRes []core.OpResult
+	err      error
+}
+
+// shardState is everything one shard worker owns: the feed, its gas/op
+// accounting, the optional in-memory trace and the optional durable store.
+// New assembles it (running recovery when the store holds prior state);
+// after the worker starts, only the worker goroutine touches it.
+type shardState struct {
+	feed *core.Feed
+	// base is the genesis digest cost, excluded from gas/op. It survives
+	// restarts via the snapshot metadata.
+	base gas.Gas
+	// ops and batches count executed work across the shard's whole
+	// lifetime, including batches replayed during recovery.
+	ops      int
+	batches  int
+	trace    []core.Op
+	traceRes []core.OpResult
+	persist  *persister // nil without persistence
+	// persistErr holds the last automatic-snapshot failure. Auto-snapshot
+	// failures do not fail the batch that triggered them (the batch is
+	// applied and logged; only compaction is behind) — they surface as
+	// PersistStat.LastError in Stats and as the error of the next explicit
+	// Snapshot call.
+	persistErr error
 }
 
 // worker owns one shard's feed. Only its goroutine touches the feed;
@@ -136,36 +178,90 @@ type worker struct {
 // shard while the others sit idle.
 const mailboxDepth = 64
 
-func (w *worker) loop(f *core.Feed, record bool) {
+func (w *worker) loop(st *shardState, record bool) {
 	defer close(w.done)
-	base := f.FeedGas() // genesis digest cost, excluded from gas/op
-	ops, batches := 0, 0
-	var trace []core.Op
-	var traceRes []core.OpResult
 	for req := range w.mail {
 		switch req.kind {
 		case reqStop:
+			err := st.persistErr
+			if st.persist != nil {
+				// Drain-then-flush: a final snapshot makes the next
+				// open replay-free; the WAL already holds everything,
+				// so a failure here costs recovery time, not data.
+				if serr := st.persist.snapshot(st); err == nil {
+					err = serr
+				}
+				if cerr := st.persist.db.Close(); err == nil {
+					err = cerr
+				}
+			}
+			req.resp <- response{err: err}
+			return
+		case reqKill:
+			if st.persist != nil {
+				// Simulated crash: no snapshot, no flush. Close only
+				// releases file handles; recovery must come from the
+				// engine's WAL exactly as after a process death.
+				st.persist.db.Close()
+			}
 			req.resp <- response{}
 			return
 		case reqStats:
-			st := ShardStat{Shard: w.idx, Ops: ops, Batches: batches, Feed: f.Stats(), BaseGas: base}
-			if ops > 0 {
-				st.GasPerOp = float64(st.Feed.FeedGas-base) / float64(ops)
+			stat := ShardStat{Shard: w.idx, Ops: st.ops, Batches: st.batches, Feed: st.feed.Stats(), BaseGas: st.base}
+			if st.ops > 0 {
+				stat.GasPerOp = float64(stat.Feed.FeedGas-st.base) / float64(st.ops)
 			}
-			req.resp <- response{stat: st}
+			if st.persist != nil {
+				ps := st.persist.stat()
+				if st.persistErr != nil {
+					ps.LastError = st.persistErr.Error()
+				}
+				stat.Persist = &ps
+			}
+			req.resp <- response{stat: stat}
+		case reqSnapshot:
+			if st.persist == nil {
+				req.resp <- response{err: ErrNotPersistent}
+				continue
+			}
+			err := st.persistErr
+			st.persistErr = nil
+			if serr := st.persist.snapshot(st); err == nil {
+				err = serr
+			}
+			var stat ShardStat
+			if err == nil {
+				ps := st.persist.stat()
+				stat = ShardStat{Shard: w.idx, Persist: &ps}
+			}
+			req.resp <- response{stat: stat, err: err}
 		case reqTrace:
-			tr := make([]core.Op, len(trace))
-			copy(tr, trace)
-			rs := make([]core.OpResult, len(traceRes))
-			copy(rs, traceRes)
+			tr := make([]core.Op, len(st.trace))
+			copy(tr, st.trace)
+			rs := make([]core.OpResult, len(st.traceRes))
+			copy(rs, st.traceRes)
 			req.resp <- response{trace: tr, traceRes: rs}
 		default:
-			results := core.ApplyOps(f, req.ops)
-			ops += len(req.ops)
-			batches++
+			if st.persist != nil {
+				// Log-then-apply: the batch is durable before it
+				// executes, so recovery replays exactly the logged
+				// prefix.
+				if err := st.persist.appendBatch(req.ops); err != nil {
+					req.resp <- response{err: err}
+					continue
+				}
+			}
+			results := core.ApplyOps(st.feed, req.ops)
+			st.ops += len(req.ops)
+			st.batches++
 			if record {
-				trace = append(trace, req.ops...)
-				traceRes = append(traceRes, results...)
+				st.trace = append(st.trace, req.ops...)
+				st.traceRes = append(st.traceRes, results...)
+			}
+			if st.persist != nil {
+				if serr := st.persist.maybeSnapshot(st); serr != nil {
+					st.persistErr = serr
+				}
 			}
 			req.resp <- response{results: results}
 		}
@@ -183,7 +279,10 @@ type ShardedFeed struct {
 
 // New builds a sharded feed with opts.Shards shards, constructing each
 // shard's feed with build (called with the shard index; each call must
-// return a fresh feed on its own chain).
+// return a fresh feed on its own chain). With Persist set, each shard first
+// recovers whatever its store directory holds — newest snapshot, then log
+// replay — before accepting traffic, so New after a crash resumes exactly
+// where the durable log stops.
 func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed, error) {
 	n := opts.Shards
 	if n < 1 {
@@ -191,7 +290,7 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 	}
 	s := &ShardedFeed{workers: make([]*worker, n)}
 	for i := 0; i < n; i++ {
-		f, err := build(i)
+		st, err := newShardState(opts, i, build)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				s.stopWorker(s.workers[j])
@@ -200,9 +299,31 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 		}
 		w := &worker{idx: i, mail: make(chan request, mailboxDepth), done: make(chan struct{})}
 		s.workers[i] = w
-		go w.loop(f, opts.RecordTrace)
+		go w.loop(st, opts.RecordTrace)
 	}
 	return s, nil
+}
+
+// newShardState prepares one shard before its worker starts: fresh build in
+// the in-memory case, open-store-and-recover in the persistent case.
+func newShardState(opts Options, idx int, build func(int) (*core.Feed, error)) (*shardState, error) {
+	if opts.Persist == nil {
+		f, err := build(idx)
+		if err != nil {
+			return nil, err
+		}
+		return &shardState{feed: f, base: f.FeedGas()}, nil
+	}
+	p, err := openPersister(*opts.Persist, idx)
+	if err != nil {
+		return nil, err
+	}
+	st, err := recoverShard(p, idx, opts, build)
+	if err != nil {
+		p.db.Close()
+		return nil, err
+	}
+	return st, nil
 }
 
 // Shards returns the partition count.
@@ -245,7 +366,7 @@ func (s *ShardedFeed) Do(ops []core.Op) ([]core.OpResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return r.results, nil
+		return r.results, r.err
 	}
 
 	// Scatter: split per shard, preserving each key's relative order.
@@ -276,6 +397,9 @@ func (s *ShardedFeed) Do(ops []core.Op) ([]core.OpResult, error) {
 		r, err := s.recv(s.workers[sh], resps[sh])
 		if err != nil {
 			return nil, err
+		}
+		if r.err != nil {
+			return nil, r.err
 		}
 		for j, pos := range subPos[sh] {
 			out[pos] = r.results[j]
@@ -323,11 +447,50 @@ func (s *ShardedFeed) Stats() (Stats, error) {
 		st.Ops += r.stat.Ops
 		st.BaseGas += r.stat.BaseGas
 		st.Feed = addFeedStats(st.Feed, r.stat.Feed)
+		if p := r.stat.Persist; p != nil {
+			if st.Persist == nil {
+				st.Persist = &PersistStats{}
+			}
+			st.Persist.Snapshots += p.Snapshots
+			st.Persist.LoggedBatches += p.LoggedBatches
+			if p.LastSeq > st.Persist.LastSeq {
+				st.Persist.LastSeq = p.LastSeq
+			}
+			if st.Persist.LastError == "" {
+				st.Persist.LastError = p.LastError
+			}
+		}
 	}
 	if st.Ops > 0 {
 		st.GasPerOp = float64(st.Feed.FeedGas-st.BaseGas) / float64(st.Ops)
 	}
 	return st, nil
+}
+
+// Snapshot forces an immediate snapshot on every shard: feed state is
+// serialized into the store, the op log below it is pruned and the engine
+// checkpoints, so a subsequent open replays nothing. It returns the
+// aggregated durability counters, or ErrNotPersistent for an in-memory
+// feed.
+func (s *ShardedFeed) Snapshot() (PersistStats, error) {
+	rs, err := s.broadcast(reqSnapshot)
+	if err != nil {
+		return PersistStats{}, err
+	}
+	var out PersistStats
+	for _, r := range rs {
+		if r.err != nil {
+			return PersistStats{}, r.err
+		}
+		if p := r.stat.Persist; p != nil {
+			out.Snapshots += p.Snapshots
+			out.LoggedBatches += p.LoggedBatches
+			if p.LastSeq > out.LastSeq {
+				out.LastSeq = p.LastSeq
+			}
+		}
+	}
+	return out, nil
 }
 
 // Trace returns the merged serialized op order: shard 0's sub-trace, then
@@ -369,19 +532,37 @@ func (s *ShardedFeed) ShardTraces() ([][]core.Op, error) {
 }
 
 func (s *ShardedFeed) stopWorker(w *worker) {
+	s.haltWorker(w, reqStop)
+}
+
+func (s *ShardedFeed) haltWorker(w *worker, kind reqKind) {
 	select {
-	case w.mail <- request{kind: reqStop, resp: make(chan response, 1)}:
+	case w.mail <- request{kind: kind, resp: make(chan response, 1)}:
 	case <-w.done:
 	}
 	<-w.done
 }
 
-// Close stops every shard worker and waits for them to drain. Further calls
-// on the feed return ErrClosed; Close itself is idempotent.
+// Close stops every shard worker and waits for them to drain. A persistent
+// feed takes a final snapshot and checkpoints its store on the way down
+// (drain-then-flush), so the next open recovers instantly. Further calls on
+// the feed return ErrClosed; Close itself is idempotent.
 func (s *ShardedFeed) Close() {
 	s.closeOnce.Do(func() {
 		for _, w := range s.workers {
 			s.stopWorker(w)
+		}
+	})
+}
+
+// Kill stops every shard worker WITHOUT the final snapshot or store flush —
+// the durable state is left exactly as the last applied batch wrote it,
+// including an unflushed engine WAL. It simulates a process crash for the
+// recovery tests; production paths use Close.
+func (s *ShardedFeed) Kill() {
+	s.closeOnce.Do(func() {
+		for _, w := range s.workers {
+			s.haltWorker(w, reqKill)
 		}
 	})
 }

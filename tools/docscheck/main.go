@@ -1,0 +1,183 @@
+// Command docscheck is the CI docs gate. It makes two guarantees:
+//
+//  1. Link check: every relative markdown link in README.md and docs/*.md
+//     points at a file that exists (and, for #fragment links, at a heading
+//     that exists, using GitHub's anchor slugging).
+//  2. Route guard: every HTTP route registered in internal/server/http.go
+//     is documented — docs/API.md must mention each route string verbatim.
+//
+// It prints each problem and exits non-zero if any were found. Run it from
+// the repository root (CI does), or pass the root as the only argument.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "docscheck:", p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: docs are consistent")
+}
+
+// run performs both checks and returns the list of problems.
+func run(root string) ([]string, error) {
+	docs, err := docFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, doc := range docs {
+		ps, err := checkLinks(root, doc)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	ps, err := checkRoutes(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, ps...)
+	return problems, nil
+}
+
+// docFiles lists the markdown files under the docs gate: README.md plus
+// everything in docs/.
+func docFiles(root string) ([]string, error) {
+	files := []string{filepath.Join(root, "README.md")}
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if err != nil {
+		return nil, fmt.Errorf("docs/ directory: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join(root, "docs", e.Name()))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// linkRe matches inline markdown links [text](target). Images and
+// reference-style links are out of scope for this repo's docs.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every relative link in one markdown file.
+func checkLinks(root, path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rel, _ := filepath.Rel(root, path)
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") {
+			continue // external links are not checked offline
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		dest := path
+		if file != "" {
+			dest = filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(dest); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q: %s does not exist", rel, target, file))
+				continue
+			}
+		}
+		if frag != "" && strings.HasSuffix(dest, ".md") {
+			ok, err := hasAnchor(dest, frag)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q: no heading for #%s", rel, target, frag))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// hasAnchor reports whether the markdown file has a heading whose GitHub
+// anchor slug equals frag.
+func hasAnchor(path, frag string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		if slugify(heading) == frag {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// slugify approximates GitHub's heading-anchor rules: lowercase, drop
+// everything but letters, digits, spaces and hyphens, spaces to hyphens.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+// routeRe matches the route strings registered on the gateway mux, e.g.
+// mux.HandleFunc("POST /feeds/{id}/ops", ...).
+var routeRe = regexp.MustCompile(`mux\.HandleFunc\("([A-Z]+ [^"]+)"`)
+
+// checkRoutes asserts docs/API.md mentions every route registered in
+// internal/server/http.go.
+func checkRoutes(root string) ([]string, error) {
+	src, err := os.ReadFile(filepath.Join(root, "internal", "server", "http.go"))
+	if err != nil {
+		return nil, fmt.Errorf("read handler source: %w", err)
+	}
+	matches := routeRe.FindAllStringSubmatch(string(src), -1)
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no routes found in internal/server/http.go — route regexp out of date?")
+	}
+	api, err := os.ReadFile(filepath.Join(root, "docs", "API.md"))
+	if err != nil {
+		return nil, fmt.Errorf("read docs/API.md: %w", err)
+	}
+	apiText := string(api)
+	var problems []string
+	for _, m := range matches {
+		route := m[1]
+		if !strings.Contains(apiText, route) {
+			problems = append(problems, fmt.Sprintf("docs/API.md: route %q is registered but not documented", route))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the repository root from the test's working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoDocsAreConsistent runs the real gate against the real repo: this
+// is the test CI's docs job executes, so a broken link or an undocumented
+// route fails the build.
+func TestRepoDocsAreConsistent(t *testing.T) {
+	problems, err := run(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestCatchesBrokenLink pins that the checker actually detects problems.
+func TestCatchesBrokenLink(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("README.md", "[missing](docs/NOPE.md) and [bad anchor](docs/API.md#nope)")
+	write("docs/API.md", "# API\n\n`GET /feeds` only\n")
+	write("internal/server/http.go",
+		"package server\nfunc x() {\n\tmux.HandleFunc(\"GET /feeds\", nil)\n\tmux.HandleFunc(\"POST /feeds/{id}/ops\", nil)\n}\n")
+
+	problems, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{"NOPE.md", "#nope", `route "POST /feeds/{id}/ops"`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems missing %q:\n%s", want, joined)
+		}
+	}
+	if len(problems) != 3 {
+		t.Errorf("got %d problems, want 3:\n%s", len(problems), joined)
+	}
+}
+
+// TestSlugify pins the GitHub anchor rules the link check relies on.
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"Persistence and recovery":             "persistence-and-recovery",
+		"POST /feeds — create a feed":          "post-feeds--create-a-feed",
+		"Data flow: one read, chain to client": "data-flow-one-read-chain-to-client",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
