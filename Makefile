@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build test race vet bench-smoke docs-check check clean
+.PHONY: all build test race vet fmt-check bench-smoke docs-check check clean
 
 all: check
 
@@ -16,10 +17,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# One fast pass over every registered experiment (including the gateway and
-# shard serving benchmarks) at reduced scale, writing the machine-readable
-# per-experiment metrics to BENCH_smoke.json (uploaded as a CI artifact).
-# Registry sanity is already covered by TestRegistryGolden under `make race`.
+# Formatting gate: fail (and list the offenders) if any tracked Go file is
+# not gofmt-clean.
+fmt-check:
+	@unformatted="$$($(GOFMT) -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# One fast pass over every registered experiment (including the gateway,
+# shard, persistence and authenticated-read serving benchmarks) at reduced
+# scale, writing the machine-readable per-experiment metrics to
+# BENCH_smoke.json (uploaded as a CI artifact). Registry sanity is already
+# covered by TestRegistryGolden under `make race`.
 bench-smoke:
 	$(GO) run ./cmd/grubbench -all -scale 0.05 -json BENCH_smoke.json
 
@@ -28,7 +38,7 @@ bench-smoke:
 docs-check:
 	$(GO) run ./tools/docscheck
 
-check: build vet race bench-smoke docs-check
+check: build vet fmt-check race bench-smoke docs-check
 
 clean:
 	$(GO) clean ./...

@@ -19,7 +19,7 @@
 // Usage:
 //
 //	grubd [-addr :8080] [-max-body 8388608] [-data-dir /var/lib/grubd]
-//	      [-snapshot-every 256] [-sync-writes]
+//	      [-snapshot-every 256] [-sync-writes] [-version]
 //
 // Then, for example:
 //
@@ -40,11 +40,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"grub/internal/server"
 )
+
+// syncWriter serializes banner writes. The drain goroutine logs on signal
+// delivery, which establishes no happens-before edge with the serve
+// goroutine's own writes, so the shared writer needs a lock.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
@@ -67,14 +82,20 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 	dataDir := fs.String("data-dir", "", "persist feeds under this directory and recover them on start (empty = in-memory)")
 	snapshotEvery := fs.Int("snapshot-every", 256, "per-shard batches between automatic snapshots (0 = shutdown/explicit only)")
 	syncWrites := fs.Bool("sync-writes", false, "fsync every durable log append")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintf(w, "grubd %s\n", server.Version)
+		return nil
 	}
 	gopts := server.GatewayOptions{DataDir: *dataDir, SnapshotEvery: *snapshotEvery, SyncWrites: *syncWrites}
 	return serve(*addr, *maxBody, gopts, w, onReady, stop)
 }
 
 func serve(addr string, maxBody int64, gopts server.GatewayOptions, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
+	w = &syncWriter{w: w}
 	g, err := server.NewGatewayWithOptions(gopts)
 	if err != nil {
 		return err

@@ -173,3 +173,14 @@ func TestBadAddr(t *testing.T) {
 		t.Fatal("bad addr accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "grubd " + server.Version + "\n"
+	if buf.String() != want {
+		t.Errorf("-version printed %q, want %q", buf.String(), want)
+	}
+}

@@ -9,11 +9,20 @@
 // it starts an in-process gateway first, so `grubfeed -load` works
 // standalone.
 //
+// With -verify it drives the authenticated read path instead: concurrent
+// VerifyingClient light clients issue point reads, absence queries and
+// range scans against a feed and re-verify every Merkle proof against the
+// gateway's advertised roots, reporting verified ops/sec and proof bytes
+// per op. A single rejected proof fails the run — the gateway is untrusted
+// on this path.
+//
 // Usage:
 //
 //	grubfeed [-ops 256] [-policy memoryless|memorizing|bl1|bl2] [-k 2]
 //	grubfeed -load [-gateway http://host:8080] [-feeds 8] [-clients 32]
 //	         [-batches 8] [-batch 16] [-workload A] [-records 64] [-shards 4]
+//	grubfeed -verify [-gateway http://host:8080] [-clients 32] [-reads 64]
+//	         [-records 64] [-shards 4]
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"grub/internal/ads"
@@ -47,23 +57,32 @@ func run(args []string, w io.Writer) error {
 	k := fs.Int("k", 2, "policy parameter K")
 	epoch := fs.Int("epoch", 16, "operations per epoch")
 	load := fs.Bool("load", false, "replay YCSB against a gateway instead of the demo")
-	gateway := fs.String("gateway", "", "gateway URL for -load; empty starts an in-process gateway")
+	verify := fs.Bool("verify", false, "drive verified reads through the authenticated read path instead of the demo")
+	gateway := fs.String("gateway", "", "gateway URL for -load/-verify; empty starts an in-process gateway")
 	feeds := fs.Int("feeds", 8, "feeds to create (-load)")
-	clients := fs.Int("clients", 32, "concurrent clients (-load)")
+	clients := fs.Int("clients", 32, "concurrent clients (-load/-verify)")
 	batches := fs.Int("batches", 8, "batches per client (-load)")
 	batch := fs.Int("batch", 16, "ops per batch (-load)")
 	workloadName := fs.String("workload", "A", "YCSB workload letter (-load)")
-	records := fs.Int("records", 64, "preloaded records per feed (-load)")
-	shards := fs.Int("shards", 1, "shards per feed: hash-partition each feed's keyspace (-load)")
+	records := fs.Int("records", 64, "preloaded records per feed (-load/-verify)")
+	shards := fs.Int("shards", 1, "shards per feed: hash-partition each feed's keyspace (-load/-verify)")
+	reads := fs.Int("reads", 64, "verified reads per client (-verify)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *load {
+	switch {
+	case *load:
 		return runLoad(w, loadConfig{
 			gateway: *gateway, feeds: *feeds, clients: *clients,
 			batches: *batches, batch: *batch, workload: *workloadName,
 			records: *records, policy: *polName, k: *k, epoch: *epoch,
 			shards: *shards,
+		})
+	case *verify:
+		return runVerify(w, verifyConfig{
+			gateway: *gateway, clients: *clients, reads: *reads,
+			records: *records, shards: *shards, policy: *polName,
+			k: *k, epoch: *epoch,
 		})
 	}
 	return runDemo(w, *ops, *polName, *k, *epoch)
@@ -187,6 +206,110 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 		}
 		fmt.Fprintf(w, "persistence: data-dir %s, %d snapshots taken, %d batches in the durable log\n",
 			info.DataDir, snapshots, logged)
+	}
+	return nil
+}
+
+type verifyConfig struct {
+	gateway  string
+	clients  int
+	reads    int
+	records  int
+	shards   int
+	policy   string
+	k, epoch int
+}
+
+// runVerify drives the authenticated read path: it preloads a feed, then
+// fans verified point reads (one in four for a key that does not exist, so
+// absence proofs are exercised) and one verified range scan per client,
+// re-checking every Merkle proof against the gateway's advertised roots.
+func runVerify(w io.Writer, cfg verifyConfig) error {
+	if cfg.clients < 1 || cfg.reads < 1 || cfg.records < 2 {
+		return fmt.Errorf("verify needs -clients >= 1, -reads >= 1, -records >= 2 (got %d/%d/%d)",
+			cfg.clients, cfg.reads, cfg.records)
+	}
+	url := cfg.gateway
+	if url == "" {
+		var shutdown func()
+		var err error
+		url, shutdown, err = server.StartLocal()
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(w, "started in-process gateway on %s\n", url)
+	}
+	admin := server.NewClient(url)
+	const feedID = "verified"
+	if err := admin.CreateFeed(server.FeedConfig{
+		ID: feedID, Policy: cfg.policy, K: cfg.k,
+		Shards: cfg.shards, EpochOps: cfg.epoch,
+	}); err != nil {
+		return err
+	}
+	keys := make([]string, cfg.records)
+	var preload []server.Op
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%04d", i)
+		preload = append(preload, server.Op{Type: "write", Key: keys[i], Value: []byte(fmt.Sprintf("value-%d", i))})
+	}
+	if _, err := admin.Do(feedID, preload); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "verify: %d light clients x %d reads + 1 range over %d records (%d shards)\n",
+		cfg.clients, cfg.reads, cfg.records, max(cfg.shards, 1))
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.clients)
+	vcs := make([]*server.VerifyingClient, cfg.clients)
+	start := time.Now()
+	for ci := 0; ci < cfg.clients; ci++ {
+		vcs[ci] = server.NewVerifyingClient(url)
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			vc := vcs[ci]
+			r := sim.NewRand(uint64(ci + 1))
+			for i := 0; i < cfg.reads; i++ {
+				key := keys[r.Intn(len(keys))]
+				if i%4 == 3 {
+					key = fmt.Sprintf("ghost%04d", r.Intn(1<<16)) // absence proof
+				}
+				if _, err := vc.Get(feedID, key); err != nil {
+					errc <- err
+					return
+				}
+			}
+			lo := keys[r.Intn(len(keys)/2)]
+			if _, err := vc.Range(feedID, lo, lo+"~"); err != nil {
+				errc <- err
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return fmt.Errorf("verification failed (untrusted gateway?): %w", err)
+	}
+	elapsed := time.Since(start)
+
+	var verified, proofBytes int64
+	for _, vc := range vcs {
+		v, pb := vc.VerifiedStats()
+		verified += v
+		proofBytes += pb
+	}
+	fmt.Fprintf(w, "\nverify results: %d proofs verified in %v -> %.0f verified ops/sec, %.0f proof bytes/op\n",
+		verified, elapsed.Round(time.Millisecond), float64(verified)/elapsed.Seconds(),
+		float64(proofBytes)/float64(max(int(verified), 1)))
+	roots, err := admin.Roots(feedID)
+	if err != nil {
+		return err
+	}
+	for _, ri := range roots {
+		fmt.Fprintf(w, "shard %d root %s (%d records, height %d, seq %d)\n",
+			ri.Shard, ri.Root, ri.Count, ri.Height, ri.Seq)
 	}
 	return nil
 }

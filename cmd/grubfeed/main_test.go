@@ -120,3 +120,22 @@ func TestLoadRejectsBadCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyStandalone drives the authenticated read path end to end: an
+// in-process gateway, concurrent verifying light clients, every proof
+// checked against the advertised roots.
+func TestVerifyStandalone(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-verify", "-clients", "4", "-reads", "8",
+		"-records", "24", "-shards", "2"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "verified ops/sec") || !strings.Contains(out, "proof bytes/op") {
+		t.Errorf("verify summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "shard 0 root") || !strings.Contains(out, "shard 1 root") {
+		t.Errorf("per-shard root lines missing:\n%s", out)
+	}
+}

@@ -1,0 +1,166 @@
+package ads
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"grub/internal/merkle"
+)
+
+// Edge-case coverage for the absence and range proofs: empty set, single
+// record, inverted windows (hi < lo) and keys past both ends of the
+// keyspace. These are exactly the shapes a light client hits on a sparse
+// shard, so each case is checked through the strict count-anchored
+// verifiers too.
+
+func TestProveAbsentEmptySet(t *testing.T) {
+	s := NewSet()
+	root := s.Root()
+	for _, key := range []string{"", "a", "zzz"} {
+		p, err := s.ProveAbsent(key)
+		if err != nil {
+			t.Fatalf("ProveAbsent(%q) on empty set: %v", key, err)
+		}
+		if err := VerifyAbsent(root, key, p); err != nil {
+			t.Fatalf("VerifyAbsent(%q) on empty set: %v", key, err)
+		}
+		if err := VerifyAbsentAt(root, 0, key, p); err != nil {
+			t.Fatalf("VerifyAbsentAt(%q) on empty set: %v", key, err)
+		}
+		// The empty-set proof must not verify against a non-empty root.
+		full := NewSet()
+		full.Put(Record{Key: key, State: NR, Value: []byte("v")})
+		if err := VerifyAbsentAt(full.Root(), 1, key, p); err == nil {
+			t.Fatalf("empty-set absence for %q accepted against non-empty root", key)
+		}
+	}
+}
+
+func TestProveAbsentSingleRecord(t *testing.T) {
+	for _, st := range []State{NR, R} {
+		s := NewSet()
+		s.Put(Record{Key: "m", State: st, Value: []byte("v")})
+		root := s.Root()
+		// One key below, one above the single record.
+		for _, key := range []string{"a", "z"} {
+			p, err := s.ProveAbsent(key)
+			if err != nil {
+				t.Fatalf("state %v ProveAbsent(%q): %v", st, key, err)
+			}
+			if err := VerifyAbsent(root, key, p); err != nil {
+				t.Fatalf("state %v VerifyAbsent(%q): %v", st, key, err)
+			}
+			if err := VerifyAbsentAt(root, 1, key, p); err != nil {
+				t.Fatalf("state %v VerifyAbsentAt(%q): %v", st, key, err)
+			}
+			if err := VerifyAbsentAt(root, 1, "m", p); err == nil {
+				t.Fatalf("state %v: absence of %q accepted for present key m", st, key)
+			}
+		}
+	}
+}
+
+func TestProveAbsentPastBothEnds(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 9; i++ { // odd count: padding in play
+		st := NR
+		if i%3 == 0 {
+			st = R
+		}
+		s.Put(Record{Key: fmt.Sprintf("k%d", i), State: st, Value: []byte("v")})
+	}
+	root := s.Root()
+	for _, key := range []string{"", "a", "z", "k8x"} {
+		p, err := s.ProveAbsent(key)
+		if err != nil {
+			t.Fatalf("ProveAbsent(%q): %v", key, err)
+		}
+		if err := VerifyAbsentAt(root, s.Len(), key, p); err != nil {
+			t.Fatalf("VerifyAbsentAt(%q): %v", key, err)
+		}
+	}
+	// Lying about the count must be caught: the proof's LeafCount is
+	// pinned to the padded capacity of the real count.
+	p, err := s.ProveAbsent("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wrong := range []int{0, 1, s.Len() + 8} {
+		if err := VerifyAbsentAt(root, wrong, "z", p); !errors.Is(err, merkle.ErrInvalidProof) {
+			t.Fatalf("count %d accepted: %v", wrong, err)
+		}
+	}
+}
+
+func TestRangeNREdgeCases(t *testing.T) {
+	mk := func(n int) *Set {
+		s := NewSet()
+		for i := 0; i < n; i++ {
+			st := NR
+			if i%4 == 0 && n > 2 {
+				st = R
+			}
+			s.Put(Record{Key: fmt.Sprintf("k%02d", i), State: st, Value: []byte("v")})
+		}
+		return s
+	}
+
+	cases := []struct {
+		name   string
+		set    *Set
+		lo, hi string
+		want   int
+	}{
+		{"empty set", mk(0), "a", "z", 0},
+		{"single NR record hit", mk(1), "a", "z", 1},
+		{"single record miss above", mk(1), "x", "z", 0},
+		{"single record miss below", mk(1), "a", "b", 0},
+		{"inverted window hi<lo", mk(12), "k09", "k02", 0},
+		{"window below all keys", mk(12), "a", "b", 0},
+		{"window above all keys", mk(12), "x", "z", 0},
+		{"window spanning everything", mk(12), "", "zzz", 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := tc.set.Root()
+			count := tc.set.Len()
+
+			// Legacy plain span (still the SP-internal shape).
+			recs, rp, err := tc.set.RangeNR(tc.lo, tc.hi)
+			if err != nil {
+				t.Fatalf("RangeNR: %v", err)
+			}
+			if len(recs) != tc.want {
+				t.Fatalf("RangeNR returned %d records, want %d", len(recs), tc.want)
+			}
+			if err := VerifyRecords(root, recs, rp); err != nil {
+				t.Fatalf("VerifyRecords: %v", err)
+			}
+
+			// Boundary-anchored completeness proof (the light-client
+			// shape).
+			nr, err := tc.set.ProveRangeNR(tc.lo, tc.hi)
+			if err != nil {
+				t.Fatalf("ProveRangeNR: %v", err)
+			}
+			if len(nr.Records) != tc.want {
+				t.Fatalf("ProveRangeNR returned %d records, want %d", len(nr.Records), tc.want)
+			}
+			if err := VerifyRangeNRAt(root, count, tc.lo, tc.hi, nr); err != nil {
+				t.Fatalf("VerifyRangeNRAt: %v", err)
+			}
+			if nr.Size() <= 0 {
+				t.Fatal("range answer size not positive")
+			}
+			// A dropped in-window record must break verification.
+			if tc.want > 0 {
+				cut := *nr
+				cut.Records = cut.Records[1:]
+				if err := VerifyRangeNRAt(root, count, tc.lo, tc.hi, &cut); err == nil {
+					t.Fatal("omitted record accepted")
+				}
+			}
+		})
+	}
+}

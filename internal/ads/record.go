@@ -39,11 +39,13 @@ func (s State) String() string {
 	return "NR"
 }
 
-// Record is a KV record with its replication state.
+// Record is a KV record with its replication state. The JSON tags are the
+// wire shape used by the gateway's authenticated read API (Value travels
+// base64-encoded, per encoding/json).
 type Record struct {
-	Key   string
-	State State
-	Value []byte
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	Value []byte `json:"value,omitempty"`
 }
 
 // Size returns the byte size used for transaction-payload Gas accounting:

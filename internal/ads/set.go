@@ -160,16 +160,50 @@ func (s *Set) refreshLeaf(i int) {
 	}
 }
 
+// CapacityFor returns the padded leaf capacity of a set holding n records:
+// the smallest power of two >= n (minimum 1). Verifiers that know the record
+// count use it to pin the LeafCount a proof must claim.
+func CapacityFor(n int) int {
+	c := 1
+	for c < n {
+		c *= 2
+	}
+	return c
+}
+
+// Clone returns a deep copy of the set with its Merkle tree already built.
+// The clone shares nothing mutable with the receiver, so as long as no
+// mutating method (Put, Delete, SetState) is called on it, all read and
+// proof methods are safe for concurrent use from many goroutines — this is
+// what the snapshot-isolated query views are built from.
+//
+// The receiver's cached tree is (re)built if stale and then copied, so a
+// clone taken between proofs costs one memcpy of the interior nodes, not a
+// rebuild.
+func (s *Set) Clone() *Set {
+	s.ensure()
+	c := &Set{
+		recs:   make([]Record, len(s.recs)),
+		leaves: make([]merkle.Hash, len(s.recs)),
+		nodes:  make([]merkle.Hash, len(s.nodes)),
+		cap:    s.cap,
+	}
+	for i, r := range s.recs {
+		r.Value = append([]byte(nil), r.Value...)
+		c.recs[i] = r
+	}
+	copy(c.leaves, s.leaves)
+	copy(c.nodes, s.nodes)
+	return c
+}
+
 // ensure rebuilds the cached tree if needed. Leaf hashes are cached per
 // record, so a rebuild recomputes only the ~n interior nodes.
 func (s *Set) ensure() {
 	if !s.dirty && s.nodes != nil {
 		return
 	}
-	c := 1
-	for c < len(s.recs) {
-		c *= 2
-	}
+	c := CapacityFor(len(s.recs))
 	if s.cap != c || s.nodes == nil {
 		s.cap = c
 		s.nodes = make([]merkle.Hash, 2*c)
@@ -251,19 +285,18 @@ func (s *Set) RangeNR(lo, hi string) ([]Record, *merkle.RangeProof, error) {
 	return out, p, nil
 }
 
-// ProveAbsent proves that key is not in the set (in either state group) by
-// exhibiting the two adjacent leaves that would surround it in each group.
-// For simplicity and auditability it returns one range proof per group
-// covering the empty span where the key would sit, plus the neighbor
-// records; the verifier checks neighbor ordering.
+// AbsenceProof proves that key is not in the set (in either state group) by
+// exhibiting, per group, a proven contiguous span of leaves bracketing the
+// position where (group, key) would sort. The span includes the immediate
+// neighbor on each side of that position — regardless of the neighbor's own
+// group, since the (state, key) total order makes any left neighbor sort
+// below the target and any right neighbor above it — and the verifier checks
+// that ordering.
 type AbsenceProof struct {
-	// For each state group: the insertion position's neighbors. Neighbors
-	// may be missing at the edges of a group.
-	NRBefore, NRAfter *Record
-	RBefore, RAfter   *Record
-	NRProof, RProof   *merkle.RangeProof
-	NRRecords         []Record // the (possibly empty) proven spans
-	RRecords          []Record
+	NRProof   *merkle.RangeProof `json:"nrProof"`
+	RProof    *merkle.RangeProof `json:"rProof"`
+	NRRecords []Record           `json:"nrRecords,omitempty"` // the (possibly empty) proven spans
+	RRecords  []Record           `json:"rRecords,omitempty"`
 }
 
 // Size returns the byte size for Gas accounting.
@@ -293,10 +326,10 @@ func (s *Set) ProveAbsent(key string) (*AbsenceProof, error) {
 	for _, st := range []State{NR, R} {
 		i, _ := s.pos(st, key)
 		lo, hi := i, i
-		if lo > 0 && s.recs[lo-1].State == st {
+		if lo > 0 {
 			lo--
 		}
-		if hi < len(s.recs) && s.recs[hi].State == st {
+		if hi < len(s.recs) {
 			hi++
 		}
 		p, err := s.proveRange(lo, hi)
@@ -315,37 +348,232 @@ func (s *Set) ProveAbsent(key string) (*AbsenceProof, error) {
 	return out, nil
 }
 
-// VerifyAbsent checks an absence proof against root. The spans must verify
-// and key must sort strictly between the span's neighbors within each group.
+// spanBrackets checks that a proven contiguous span of records establishes
+// that no record with (st, key) exists in the tree committed to by root:
+// the span's leaves verify, its records are strictly (state, key)-ordered,
+// none of them is (st, key), and the span brackets the position where
+// (st, key) would sort — a record below the target precedes it unless the
+// span starts at leaf 0, and a record above it follows unless the span ends
+// at the last record.
+//
+// count is the total record count in the tree, the anchor that makes the
+// right bracket checkable: without it (count < 0) a span ending before the
+// padded capacity cannot be distinguished from one ending at the last
+// record, so the right bracket is only enforced when an upper neighbor is
+// claimed. Verifiers that learn the count alongside the root (the query
+// read path) pass it and get the complete guarantee.
+func spanBrackets(root merkle.Hash, count int, st State, key string, span []Record, rp *merkle.RangeProof) error {
+	if rp == nil {
+		return fmt.Errorf("%w: nil span proof", merkle.ErrInvalidProof)
+	}
+	leaves := make([]merkle.Hash, len(span))
+	for i, r := range span {
+		leaves[i] = r.Leaf()
+	}
+	if err := merkle.VerifyRange(root, leaves, rp); err != nil {
+		return err
+	}
+	if count >= 0 {
+		if rp.LeafCount != CapacityFor(count) {
+			return fmt.Errorf("%w: leaf count %d does not match %d records", merkle.ErrInvalidProof, rp.LeafCount, count)
+		}
+		if rp.End > count {
+			return fmt.Errorf("%w: span end %d beyond %d records", merkle.ErrInvalidProof, rp.End, count)
+		}
+	}
+	for i, r := range span {
+		if r.State == st && r.Key == key {
+			return fmt.Errorf("%w: key present in absence span", merkle.ErrInvalidProof)
+		}
+		if i > 0 && !less(span[i-1].State, span[i-1].Key, r.State, r.Key) {
+			return fmt.Errorf("%w: absence span not strictly ordered", merkle.ErrInvalidProof)
+		}
+	}
+	if rp.Start > 0 {
+		if len(span) == 0 || !less(span[0].State, span[0].Key, st, key) {
+			return fmt.Errorf("%w: span does not bracket key from below", merkle.ErrInvalidProof)
+		}
+	}
+	// Bracket from above. Without the count anchor a span may legitimately
+	// stop at the last record (padding fills the rest of the capacity), so
+	// a missing upper neighbor is only rejectable when the count is known.
+	last := len(span) - 1
+	hasUpper := last >= 0 && less(st, key, span[last].State, span[last].Key)
+	if count >= 0 && rp.End < count && !hasUpper {
+		return fmt.Errorf("%w: span does not bracket key from above", merkle.ErrInvalidProof)
+	}
+	return nil
+}
+
+// VerifyAbsent checks an absence proof against root: both group spans must
+// verify, be strictly ordered and bracket the key's position. Without a
+// record count the bracket above the key cannot be enforced at the very end
+// of the record array; VerifyAbsentAt closes that gap for verifiers that
+// learn the count alongside the root.
 func VerifyAbsent(root merkle.Hash, key string, p *AbsenceProof) error {
+	return verifyAbsent(root, -1, key, p)
+}
+
+// VerifyAbsentAt is VerifyAbsent anchored to a known record count: the spans
+// must also stay within count records and bracket the key from above unless
+// they end at the last record. (root, count) together form the trust anchor
+// the query read path advertises per shard.
+func VerifyAbsentAt(root merkle.Hash, count int, key string, p *AbsenceProof) error {
+	if count < 0 {
+		return fmt.Errorf("%w: negative record count", merkle.ErrInvalidProof)
+	}
+	return verifyAbsent(root, count, key, p)
+}
+
+func verifyAbsent(root merkle.Hash, count int, key string, p *AbsenceProof) error {
 	if p == nil {
 		return fmt.Errorf("%w: nil absence proof", merkle.ErrInvalidProof)
 	}
-	check := func(st State, span []Record, rp *merkle.RangeProof) error {
-		leaves := make([]merkle.Hash, len(span))
-		for i, r := range span {
-			if r.State != st {
-				return fmt.Errorf("%w: span record in wrong group", merkle.ErrInvalidProof)
-			}
-			leaves[i] = r.Leaf()
-		}
-		if err := merkle.VerifyRange(root, leaves, rp); err != nil {
-			return err
-		}
-		// key must not appear, and must sort inside the span boundaries
-		// if the span is non-empty on that side.
-		for _, r := range span {
-			if r.Key == key {
-				return fmt.Errorf("%w: key present in absence span", merkle.ErrInvalidProof)
-			}
-		}
-		return nil
-	}
-	if err := check(NR, p.NRRecords, p.NRProof); err != nil {
+	if err := spanBrackets(root, count, NR, key, p.NRRecords, p.NRProof); err != nil {
 		return fmt.Errorf("NR group: %w", err)
 	}
-	if err := check(R, p.RRecords, p.RProof); err != nil {
+	if err := spanBrackets(root, count, R, key, p.RRecords, p.RProof); err != nil {
 		return fmt.Errorf("R group: %w", err)
+	}
+	return nil
+}
+
+// NRRange is a verifiable answer to "all NR records with lo <= key <= hi":
+// the in-window records plus up to one boundary record on each side, proven
+// as one contiguous leaf span. The boundary records are what make the answer
+// complete for a verifier that knows the set's record count: a span that
+// neither starts at leaf 0 nor exhibits a record below the window (resp.
+// neither ends at the last record nor exhibits one above it) is rejected, so
+// an adversarial server can neither omit nor inject records.
+type NRRange struct {
+	// Before and After are the records immediately outside the window
+	// (nil when the span reaches the corresponding edge of the record
+	// array). After may be an R record: in the (state, key) order an R
+	// record proves the NR group ended before it.
+	Before *Record `json:"before,omitempty"`
+	After  *Record `json:"after,omitempty"`
+	// Records are the NR records with lo <= key <= hi, in key order.
+	Records []Record           `json:"records,omitempty"`
+	Proof   *merkle.RangeProof `json:"proof"`
+}
+
+// Size returns the byte size for proof-transfer accounting.
+func (r *NRRange) Size() int {
+	n := 0
+	if r.Proof != nil {
+		n += r.Proof.Size()
+	}
+	if r.Before != nil {
+		n += r.Before.Size()
+	}
+	if r.After != nil {
+		n += r.After.Size()
+	}
+	for _, rec := range r.Records {
+		n += rec.Size()
+	}
+	return n
+}
+
+// ProveRangeNR builds a boundary-anchored completeness proof for the NR
+// records with lo <= key <= hi. An inverted window (hi < lo) proves the
+// empty result. Only the NR group is served: R records live on-chain and
+// are read there (paper Appendix B.2.2).
+func (s *Set) ProveRangeNR(lo, hi string) (*NRRange, error) {
+	start := sort.Search(len(s.recs), func(i int) bool {
+		r := s.recs[i]
+		return !less(r.State, r.Key, NR, lo)
+	})
+	end := start
+	for end < len(s.recs) && s.recs[end].State == NR && s.recs[end].Key <= hi {
+		end++
+	}
+	slo, shi := start, end
+	if slo > 0 {
+		slo--
+	}
+	if shi < len(s.recs) {
+		shi++
+	}
+	p, err := s.proveRange(slo, shi)
+	if err != nil {
+		return nil, err
+	}
+	out := &NRRange{Proof: p, Records: make([]Record, end-start)}
+	copy(out.Records, s.recs[start:end])
+	if slo < start {
+		before := s.recs[slo]
+		out.Before = &before
+	}
+	if shi > end {
+		after := s.recs[shi-1]
+		out.After = &after
+	}
+	return out, nil
+}
+
+// VerifyRangeNRAt checks a boundary-anchored range answer against the
+// (root, count) trust anchor: the span verifies, every returned record is an
+// NR record inside [lo, hi] in strictly ascending order, and the boundary
+// records (or the edges of the record array) prove nothing was omitted.
+func VerifyRangeNRAt(root merkle.Hash, count int, lo, hi string, r *NRRange) error {
+	if r == nil || r.Proof == nil {
+		return fmt.Errorf("%w: nil range answer", merkle.ErrInvalidProof)
+	}
+	if count < 0 {
+		return fmt.Errorf("%w: negative record count", merkle.ErrInvalidProof)
+	}
+	span := make([]Record, 0, len(r.Records)+2)
+	if r.Before != nil {
+		span = append(span, *r.Before)
+	}
+	span = append(span, r.Records...)
+	if r.After != nil {
+		span = append(span, *r.After)
+	}
+	leaves := make([]merkle.Hash, len(span))
+	for i, rec := range span {
+		leaves[i] = rec.Leaf()
+	}
+	if err := merkle.VerifyRange(root, leaves, r.Proof); err != nil {
+		return err
+	}
+	if r.Proof.LeafCount != CapacityFor(count) {
+		return fmt.Errorf("%w: leaf count %d does not match %d records", merkle.ErrInvalidProof, r.Proof.LeafCount, count)
+	}
+	if r.Proof.End > count {
+		return fmt.Errorf("%w: span end %d beyond %d records", merkle.ErrInvalidProof, r.Proof.End, count)
+	}
+	for i, rec := range span {
+		if i > 0 && !less(span[i-1].State, span[i-1].Key, rec.State, rec.Key) {
+			return fmt.Errorf("%w: range span not strictly ordered", merkle.ErrInvalidProof)
+		}
+	}
+	for _, rec := range r.Records {
+		if rec.State != NR {
+			return fmt.Errorf("%w: non-NR record in range result", merkle.ErrInvalidProof)
+		}
+		if rec.Key < lo || rec.Key > hi {
+			return fmt.Errorf("%w: record %q outside [%q,%q]", merkle.ErrInvalidProof, rec.Key, lo, hi)
+		}
+	}
+	// Completeness below the window: either the span starts at leaf 0 or
+	// the claimed Before record sorts below (NR, lo).
+	if r.Before == nil {
+		if r.Proof.Start > 0 {
+			return fmt.Errorf("%w: range span not anchored below", merkle.ErrInvalidProof)
+		}
+	} else if !less(r.Before.State, r.Before.Key, NR, lo) {
+		return fmt.Errorf("%w: before-boundary inside window", merkle.ErrInvalidProof)
+	}
+	// Completeness above: either the span ends at the last record or the
+	// claimed After record sorts above (NR, hi).
+	if r.After == nil {
+		if r.Proof.End < count {
+			return fmt.Errorf("%w: range span not anchored above", merkle.ErrInvalidProof)
+		}
+	} else if !less(NR, hi, r.After.State, r.After.Key) {
+		return fmt.Errorf("%w: after-boundary inside window", merkle.ErrInvalidProof)
 	}
 	return nil
 }

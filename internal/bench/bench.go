@@ -101,6 +101,7 @@ var Registry = []Experiment{
 	{ID: "gateway", Title: "Concurrent multi-feed gateway throughput (ops/sec, gas/op)", Run: RunGateway},
 	{ID: "shard", Title: "Sharded feed scatter-gather scaling at 1/2/4/8 shards (ops/sec, gas/op)", Run: RunShard},
 	{ID: "persist", Title: "Durable gateway: WAL on/off throughput and recovery time vs log length", Run: RunPersist},
+	{ID: "query", Title: "Authenticated read path: verified-read vs worker-path throughput, proof bytes/op", Run: RunQuery},
 }
 
 // ByID resolves an experiment.

@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig5", "table3", "fig6", "table6",
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
-		"gateway", "shard", "persist",
+		"gateway", "shard", "persist", "query",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -170,5 +170,36 @@ func TestPersistSmoke(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "WAL overhead") || !strings.Contains(out, "recovery") {
 		t.Errorf("persist report incomplete:\n%s", out)
+	}
+}
+
+// TestQuerySmoke runs the authenticated-read experiment and pins the
+// acceptance bar: verified reads off the published views must out-run
+// worker-path reads (they skip the whole simulated read protocol), and
+// every verified op must carry a non-trivial proof.
+func TestQuerySmoke(t *testing.T) {
+	e, err := ByID("query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	var buf bytes.Buffer
+	cfg := Config{W: &buf, Scale: smokeScale, Seed: 7,
+		Metric: func(name string, v float64) { metrics[name] = v }}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	worker, verified := metrics["worker.opsPerSec"], metrics["verified.opsPerSec"]
+	if worker <= 0 || verified <= 0 {
+		t.Fatalf("throughput metrics missing: %v", metrics)
+	}
+	if verified <= worker {
+		t.Errorf("verified reads (%.0f ops/sec) did not beat the worker path (%.0f ops/sec)", verified, worker)
+	}
+	if metrics["verified.proofBytesPerOp"] <= 0 {
+		t.Errorf("proof bytes per op missing: %v", metrics)
+	}
+	if !strings.Contains(buf.String(), "verified") {
+		t.Errorf("query report incomplete:\n%s", buf.String())
 	}
 }

@@ -12,6 +12,8 @@ package merkle
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 )
@@ -25,8 +27,32 @@ type Hash [HashSize]byte
 // String returns a short hex prefix for debugging.
 func (h Hash) String() string { return fmt.Sprintf("%x", h[:4]) }
 
+// Hex returns the full lowercase hex encoding.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
 // IsZero reports whether h is the all-zero hash.
 func (h Hash) IsZero() bool { return h == Hash{} }
+
+// MarshalJSON encodes the hash as a 64-character hex string — the wire
+// representation used by the gateway's authenticated read API.
+func (h Hash) MarshalJSON() ([]byte, error) { return json.Marshal(h.Hex()) }
+
+// UnmarshalJSON decodes the hex wire representation.
+func (h *Hash) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("merkle: hash: %w", err)
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("merkle: hash hex: %w", err)
+	}
+	if len(raw) != HashSize {
+		return fmt.Errorf("merkle: hash is %d bytes, want %d", len(raw), HashSize)
+	}
+	copy(h[:], raw)
+	return nil
+}
 
 // Domain-separation prefixes: leaves and interior nodes must hash into
 // disjoint domains or an attacker could present an interior node as a leaf
@@ -142,19 +168,19 @@ func largestPowerOfTwoBelow(n int) int {
 type ProofNode struct {
 	// Left reports whether the sibling is the left child (i.e. the path
 	// node is the right child).
-	Left bool
-	Hash Hash
+	Left bool `json:"left,omitempty"`
+	Hash Hash `json:"hash"`
 }
 
 // Proof is a membership proof for a single leaf: the sibling hashes from the
 // leaf to the root.
 type Proof struct {
 	// Index is the leaf position the proof speaks for.
-	Index int
+	Index int `json:"index"`
 	// LeafCount is the total number of leaves in the tree at proof time;
 	// the verifier needs it to reproduce the tree shape.
-	LeafCount int
-	Path      []ProofNode
+	LeafCount int         `json:"leafCount"`
+	Path      []ProofNode `json:"path,omitempty"`
 }
 
 // Size returns the serialized size of the proof in bytes, used for Gas
@@ -222,12 +248,14 @@ func Verify(root Hash, leaf Hash, p *Proof) error {
 // exactly the claimed leaves, so omitting or injecting a leaf changes the
 // root.
 type RangeProof struct {
-	Start, End int // leaf span [Start, End)
-	LeafCount  int
+	// Start and End delimit the leaf span [Start, End).
+	Start     int `json:"start"`
+	End       int `json:"end"`
+	LeafCount int `json:"leafCount"`
 	// Left and Right are the hashes of the maximal subtrees entirely to
 	// the left/right of the range, outermost first.
-	Left  []Hash
-	Right []Hash
+	Left  []Hash `json:"left,omitempty"`
+	Right []Hash `json:"right,omitempty"`
 }
 
 // Size returns the serialized size in bytes for Gas accounting.

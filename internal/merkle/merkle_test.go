@@ -1,6 +1,7 @@
 package merkle
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"testing"
@@ -301,5 +302,29 @@ func BenchmarkProve1024(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, _ = tr.Prove(i % 1024)
+	}
+}
+
+// TestHashJSONRoundTrip pins the hex wire representation of hashes.
+func TestHashJSONRoundTrip(t *testing.T) {
+	h := HashLeaf([]byte("payload"))
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"` + h.Hex() + `"`; string(data) != want {
+		t.Errorf("marshaled %s, want %s", data, want)
+	}
+	var back Hash
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Errorf("round trip changed hash: %v != %v", back, h)
+	}
+	for _, bad := range []string{`"zz"`, `"abcd"`, `123`, `""`} {
+		if err := json.Unmarshal([]byte(bad), &back); err == nil {
+			t.Errorf("bad hash JSON %s accepted", bad)
+		}
 	}
 }

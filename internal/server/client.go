@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 
+	"grub/internal/query"
 	"grub/internal/shard"
 )
 
@@ -126,6 +128,50 @@ func (c *Client) Snapshot(id string) (shard.PersistStats, error) {
 		return shard.PersistStats{}, err
 	}
 	return out.Persist, nil
+}
+
+// Get performs an authenticated point read: the record (or proven absence)
+// for key, with the Merkle evidence and shard anchor. The proof is NOT
+// checked here — use VerifyingClient for reads that must not trust the
+// gateway, or query.VerifyGet directly.
+func (c *Client) Get(id, key string) (*query.GetResult, error) {
+	var out GetResponse
+	path := "/feeds/" + id + "/get?key=" + url.QueryEscape(key)
+	if err := c.call(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// Range performs an authenticated key-range scan: one completeness-proven
+// slice of NR records per shard. Proofs are not checked here (see
+// VerifyingClient).
+func (c *Client) Range(id, lo, hi string) ([]query.RangeResult, error) {
+	var out RangeResponse
+	path := "/feeds/" + id + "/range?lo=" + url.QueryEscape(lo) + "&hi=" + url.QueryEscape(hi)
+	if err := c.call(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Roots fetches the feed's per-shard trust anchors (root, record count,
+// chain height, publication seq).
+func (c *Client) Roots(id string) ([]query.RootInfo, error) {
+	var out RootsResponse
+	if err := c.call(http.MethodGet, "/feeds/"+id+"/roots", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Shards, nil
+}
+
+// Health probes the gateway's liveness endpoint.
+func (c *Client) Health() (HealthResponse, error) {
+	var out HealthResponse
+	if err := c.call(http.MethodGet, "/healthz", nil, &out); err != nil {
+		return HealthResponse{}, err
+	}
+	return out, nil
 }
 
 // Info fetches gateway-level information (persistence mode, data dir, feed

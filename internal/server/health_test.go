@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthz pins the load-balancer liveness probe: 200, ok, live feed
+// count and the build version.
+func TestHealthz(t *testing.T) {
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Feeds != 0 || h.Version != Version {
+		t.Errorf("healthz = %+v, want ok with 0 feeds, version %q", h, Version)
+	}
+
+	if err := c.CreateFeed(FeedConfig{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateFeed(FeedConfig{ID: "b", Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	h, err = c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Feeds != 2 {
+		t.Errorf("healthz feeds = %d, want 2", h.Feeds)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestInfoVersion pins the version surfaced through GET /info.
+func TestInfoVersion(t *testing.T) {
+	g := NewGateway()
+	defer g.Close()
+	srv := httptest.NewServer(NewHandler(g))
+	defer srv.Close()
+
+	info, err := NewClient(srv.URL).Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != Version {
+		t.Errorf("info version = %q, want %q", info.Version, Version)
+	}
+}

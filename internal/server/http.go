@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"grub/internal/query"
 	"grub/internal/shard"
 )
 
@@ -19,6 +20,12 @@ type HandlerConfig struct {
 	// MaxBodyBytes caps POST bodies; requests beyond it get 413. Values
 	// <= 0 mean DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// TamperQuery, when non-nil, may rewrite an authenticated-read
+	// response (*GetResponse, *RangeResponse or *RootsResponse) just
+	// before it is encoded. It models a compromised gateway so the
+	// VerifyingClient rejection tests have something to reject;
+	// production configs leave it nil.
+	TamperQuery func(any)
 }
 
 // BatchRequest is the body of POST /feeds/{id}/ops.
@@ -53,12 +60,47 @@ type SnapshotResponse struct {
 
 // InfoResponse is the body of GET /info.
 type InfoResponse struct {
+	// Version is the gateway build version (server.Version).
+	Version string `json:"version"`
 	// Persistent reports whether the gateway runs with a data directory.
 	Persistent bool `json:"persistent"`
 	// DataDir is the gateway's data directory ("" when in-memory).
 	DataDir string `json:"dataDir,omitempty"`
 	// Feeds is the number of hosted feeds.
 	Feeds int `json:"feeds"`
+}
+
+// HealthResponse is the body of GET /healthz, the load-balancer liveness
+// probe.
+type HealthResponse struct {
+	OK      bool   `json:"ok"`
+	Feeds   int    `json:"feeds"`
+	Version string `json:"version"`
+}
+
+// GetResponse is the body of GET /feeds/{id}/get?key=K: an authenticated
+// point read. Result carries the record + membership proof (or absence
+// proof) and the shard anchor it verifies against.
+type GetResponse struct {
+	ID     string           `json:"id"`
+	Result *query.GetResult `json:"result"`
+}
+
+// RangeResponse is the body of GET /feeds/{id}/range?lo=&hi=: one
+// completeness-proven slice per shard (hash partitioning destroys global
+// key order, so the client merges the verified slices).
+type RangeResponse struct {
+	ID      string              `json:"id"`
+	Lo      string              `json:"lo"`
+	Hi      string              `json:"hi"`
+	Results []query.RangeResult `json:"results"`
+}
+
+// RootsResponse is the body of GET /feeds/{id}/roots: the per-shard trust
+// anchors of the authenticated read path.
+type RootsResponse struct {
+	ID     string           `json:"id"`
+	Shards []query.RootInfo `json:"shards"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -180,10 +222,81 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 
 	mux.HandleFunc("GET /info", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, InfoResponse{
+			Version:    Version,
 			Persistent: g.DataDir() != "",
 			DataDir:    g.DataDir(),
 			Feeds:      len(g.Feeds()),
 		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthResponse{
+			OK:      true,
+			Feeds:   len(g.Feeds()),
+			Version: Version,
+		})
+	})
+
+	// tamper lets the rejection tests model a compromised gateway; it is
+	// the identity in production.
+	tamper := func(resp any) any {
+		if hc.TamperQuery != nil {
+			hc.TamperQuery(resp)
+		}
+		return resp
+	}
+
+	mux.HandleFunc("GET /feeds/{id}/get", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			writeErr(w, fmt.Errorf("server: %w: query parameter key required", ErrBadConfig))
+			return
+		}
+		e, err := g.Query(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		res, err := e.Get(key)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tamper(&GetResponse{ID: r.PathValue("id"), Result: res}))
+	})
+
+	mux.HandleFunc("GET /feeds/{id}/range", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		lo, hi := q.Get("lo"), q.Get("hi")
+		if !q.Has("lo") || !q.Has("hi") {
+			writeErr(w, fmt.Errorf("server: %w: query parameters lo and hi required", ErrBadConfig))
+			return
+		}
+		e, err := g.Query(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		results, err := e.Range(lo, hi)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tamper(&RangeResponse{ID: r.PathValue("id"), Lo: lo, Hi: hi, Results: results}))
+	})
+
+	mux.HandleFunc("GET /feeds/{id}/roots", func(w http.ResponseWriter, r *http.Request) {
+		e, err := g.Query(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		roots, err := e.Roots()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tamper(&RootsResponse{ID: r.PathValue("id"), Shards: roots}))
 	})
 
 	mux.HandleFunc("GET /feeds/{id}/trace", func(w http.ResponseWriter, r *http.Request) {

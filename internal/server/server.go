@@ -20,13 +20,22 @@
 //
 //	POST   /feeds               create a feed from a FeedConfig
 //	GET    /feeds               list feed IDs
-//	GET    /info                gateway info (persistence mode, data dir)
+//	GET    /info                gateway info (version, persistence mode, data dir)
+//	GET    /healthz             liveness probe (feed count, version)
 //	POST   /feeds/{id}/ops      execute a batch of read/write/scan ops
+//	GET    /feeds/{id}/get      authenticated point read with Merkle proof
+//	GET    /feeds/{id}/range    authenticated key-range scan with proofs
+//	GET    /feeds/{id}/roots    per-shard trust anchors (root, count, height)
 //	GET    /feeds/{id}/stats    gas counters and replication state (aggregate)
 //	GET    /feeds/{id}/shards   per-shard stats breakdown
 //	GET    /feeds/{id}/trace    serialized op order (when RecordTrace is set)
 //	POST   /feeds/{id}/snapshot force a durable snapshot (persistent gateways)
 //	DELETE /feeds/{id}          close a feed
+//
+// The /get, /range and /roots routes are the authenticated read path: every
+// answer carries Merkle proofs against per-shard (root, count) anchors, so
+// an untrusted gateway can serve them to verifying light clients
+// (VerifyingClient) — see internal/query.
 package server
 
 import (
@@ -39,6 +48,7 @@ import (
 	"grub/internal/core"
 	"grub/internal/gas"
 	"grub/internal/policy"
+	"grub/internal/query"
 	"grub/internal/shard"
 	"grub/internal/sim"
 	"grub/internal/workload"
@@ -168,7 +178,9 @@ func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
 
 // newShardedFeed builds a feed's shard engine, durable when persist is
 // non-nil (in which case whatever state persist.Dir already holds is
-// recovered first).
+// recovered first). Every gateway feed publishes read views: the
+// authenticated read path (/feeds/{id}/get, /range, /roots) is part of the
+// serving surface, not an opt-in.
 func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions) (*shard.ShardedFeed, error) {
 	if _, _, err := feedParts(cfg); err != nil {
 		return nil, err // reject bad configs before touching disk
@@ -179,7 +191,7 @@ func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions) (*shard.Shard
 		}
 	}
 	return shard.New(
-		shard.Options{Shards: cfg.Shards, RecordTrace: cfg.RecordTrace, Persist: persist},
+		shard.Options{Shards: cfg.Shards, RecordTrace: cfg.RecordTrace, Views: true, Persist: persist},
 		func(int) (*core.Feed, error) { return NewFeed(cfg) },
 	)
 }
@@ -340,6 +352,21 @@ func (g *Gateway) Stats(id string) (Stats, error) {
 		GasPerOp: st.GasPerOp,
 		Persist:  st.Persist,
 	}, nil
+}
+
+// Query returns one feed's snapshot-isolated query engine — the
+// authenticated read path. Reads served from it carry Merkle proofs and
+// never touch the feed's shard workers.
+func (g *Gateway) Query(id string) (*query.Engine, error) {
+	sf, err := g.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e := sf.Engine()
+	if e == nil {
+		return nil, fmt.Errorf("server: %w: feed %q has no query engine", ErrBadConfig, id)
+	}
+	return e, nil
 }
 
 // Snapshot forces an immediate durable snapshot of one feed (every shard

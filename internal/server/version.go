@@ -1,0 +1,7 @@
+package server
+
+// Version identifies the gateway build. It is reported by `grubd -version`,
+// GET /info and GET /healthz, and can be stamped at link time:
+//
+//	go build -ldflags "-X grub/internal/server.Version=v1.2.3" ./cmd/grubd
+var Version = "0.5.0-dev"

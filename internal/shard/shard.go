@@ -26,28 +26,22 @@ package shard
 
 import (
 	"errors"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
 	"grub/internal/core"
 	"grub/internal/gas"
+	"grub/internal/query"
 )
 
 // ErrClosed is returned by operations on a closed ShardedFeed.
 var ErrClosed = errors.New("shard: feed closed")
 
 // ShardOf maps a key to its shard index in [0, n). The routing is pure
-// (FNV-1a over the key bytes), so clients, the engine and replays all agree
-// on the partition without coordination.
-func ShardOf(key string, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
-}
+// (FNV-1a over the key bytes, canonically implemented in internal/query so
+// verifying light clients share it), so clients, the engine and replays all
+// agree on the partition without coordination.
+func ShardOf(key string, n int) int { return query.ShardOf(key, n) }
 
 // Options configures a ShardedFeed.
 type Options struct {
@@ -59,6 +53,12 @@ type Options struct {
 	// a recovered feed's trace restarts at the newest snapshot (earlier
 	// ops were compacted away).
 	RecordTrace bool
+	// Views publishes an immutable read view (frozen record set + ads
+	// root + chain height) per shard after every applied batch, served by
+	// Engine() — the authenticated read path (internal/query). Reads on
+	// that path never touch the shard workers. Costs one record-set copy
+	// per shard per batch.
+	Views bool
 	// Persist, when non-nil, backs every shard with a durable op log and
 	// snapshot store (see persist.go); New recovers whatever state the
 	// directory already holds.
@@ -172,6 +172,21 @@ type worker struct {
 	idx  int
 	mail chan request
 	done chan struct{}
+	// views, when non-nil, receives this shard's read view after every
+	// applied batch (Options.Views).
+	views *query.Engine
+}
+
+// publishView snapshots the shard's current state into an immutable read
+// view and installs it: a frozen copy of the DO's authenticated mirror,
+// its root, the shard chain's height, and the batch count as the monotone
+// publication sequence.
+func (w *worker) publishView(st *shardState) {
+	if w.views == nil {
+		return
+	}
+	frozen := st.feed.DO.Set().Clone()
+	w.views.Publish(w.idx, query.NewView(w.idx, uint64(st.batches), st.feed.Chain.Height(), frozen))
 }
 
 // mailboxDepth buffers sub-batch sends so a scatter never stalls on one busy
@@ -263,6 +278,9 @@ func (w *worker) loop(st *shardState, record bool) {
 					st.persistErr = serr
 				}
 			}
+			// Publish before acking so a client that saw its batch
+			// complete reads its own writes from the next view.
+			w.publishView(st)
 			req.resp <- response{results: results}
 		}
 	}
@@ -275,7 +293,15 @@ type ShardedFeed struct {
 	workers   []*worker
 	batches   atomic.Int64
 	closeOnce sync.Once
+	// engine serves the authenticated read path (nil unless
+	// Options.Views).
+	engine *query.Engine
 }
+
+// Engine returns the feed's snapshot-isolated query engine, or nil when the
+// feed was built without Options.Views. The engine stays readable after
+// Close (views are immutable), serving whatever each shard last published.
+func (s *ShardedFeed) Engine() *query.Engine { return s.engine }
 
 // New builds a sharded feed with opts.Shards shards, constructing each
 // shard's feed with build (called with the shard index; each call must
@@ -289,6 +315,9 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 		n = 1
 	}
 	s := &ShardedFeed{workers: make([]*worker, n)}
+	if opts.Views {
+		s.engine = query.NewEngine(n)
+	}
 	for i := 0; i < n; i++ {
 		st, err := newShardState(opts, i, build)
 		if err != nil {
@@ -297,8 +326,12 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 			}
 			return nil, err
 		}
-		w := &worker{idx: i, mail: make(chan request, mailboxDepth), done: make(chan struct{})}
+		w := &worker{idx: i, mail: make(chan request, mailboxDepth), done: make(chan struct{}), views: s.engine}
 		s.workers[i] = w
+		// Initial view: reads (including absence proofs over the empty
+		// set, and recovered state after a restart) work before the
+		// first batch lands.
+		w.publishView(st)
 		go w.loop(st, opts.RecordTrace)
 	}
 	return s, nil
