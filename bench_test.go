@@ -72,3 +72,7 @@ func BenchmarkShardExperiment(b *testing.B) { runExperiment(b, "shard") }
 // BenchmarkPersistExperiment runs the durability experiment: WAL on/off
 // throughput and recovery time vs log length.
 func BenchmarkPersistExperiment(b *testing.B) { runExperiment(b, "persist") }
+
+// BenchmarkReplExperiment runs the replication experiment: follower
+// catch-up throughput and verified-read scale-out across followers.
+func BenchmarkReplExperiment(b *testing.B) { runExperiment(b, "repl") }

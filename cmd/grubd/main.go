@@ -11,6 +11,14 @@
 // a restart with the same -data-dir recovers every feed — same keys, same
 // replication decisions going forward, same cumulative Gas.
 //
+// With -follow the daemon runs as a read-only replica of another grubd: it
+// mirrors the leader's feeds, ships their per-shard replication logs
+// (bootstrapping from verified snapshots when behind), and serves the same
+// Merkle-proven reads from the replicated state. Writes answer 403 with a
+// Leader header pointing at the leader (the Go client auto-follows it).
+// Combine with -data-dir for a follower that resumes tailing from its own
+// WAL and cursor after a restart.
+//
 // On SIGINT or SIGTERM the daemon shuts down gracefully: it stops accepting
 // connections, finishes in-flight requests, drains every feed worker —
 // taking a final snapshot and flushing each feed's store when persistence
@@ -19,7 +27,8 @@
 // Usage:
 //
 //	grubd [-addr :8080] [-max-body 8388608] [-data-dir /var/lib/grubd]
-//	      [-snapshot-every 256] [-sync-writes] [-version]
+//	      [-snapshot-every 256] [-sync-writes] [-follow http://leader:8080]
+//	      [-repl-retain 256] [-version]
 //
 // Then, for example:
 //
@@ -44,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"grub/internal/repl"
 	"grub/internal/server"
 )
 
@@ -82,6 +92,8 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 	dataDir := fs.String("data-dir", "", "persist feeds under this directory and recover them on start (empty = in-memory)")
 	snapshotEvery := fs.Int("snapshot-every", 256, "per-shard batches between automatic snapshots (0 = shutdown/explicit only)")
 	syncWrites := fs.Bool("sync-writes", false, "fsync every durable log append")
+	follow := fs.String("follow", "", "replicate from this leader gateway URL and serve read-only (follower mode)")
+	replRetain := fs.Int("repl-retain", 0, "replication log entries retained per shard for followers (0 = default 256; further-behind followers bootstrap from a snapshot)")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,11 +102,11 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 		fmt.Fprintf(w, "grubd %s\n", server.Version)
 		return nil
 	}
-	gopts := server.GatewayOptions{DataDir: *dataDir, SnapshotEvery: *snapshotEvery, SyncWrites: *syncWrites}
-	return serve(*addr, *maxBody, gopts, w, onReady, stop)
+	gopts := server.GatewayOptions{DataDir: *dataDir, SnapshotEvery: *snapshotEvery, SyncWrites: *syncWrites, ReplRetain: *replRetain}
+	return serve(*addr, *maxBody, *follow, gopts, w, onReady, stop)
 }
 
-func serve(addr string, maxBody int64, gopts server.GatewayOptions, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
+func serve(addr string, maxBody int64, follow string, gopts server.GatewayOptions, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
 	w = &syncWriter{w: w}
 	g, err := server.NewGatewayWithOptions(gopts)
 	if err != nil {
@@ -105,7 +117,13 @@ func serve(addr string, maxBody int64, gopts server.GatewayOptions, w io.Writer,
 		g.Close()
 		return err
 	}
-	srv := &http.Server{Handler: server.NewHandlerConfig(g, server.HandlerConfig{MaxBodyBytes: maxBody})}
+	hc := server.HandlerConfig{MaxBodyBytes: maxBody}
+	var follower *repl.Follower
+	if follow != "" {
+		follower = repl.NewFollower(repl.Options{Leader: follow}, g.ReplTarget())
+		hc.Follower = follower
+	}
+	srv := &http.Server{Handler: server.NewHandlerConfig(g, hc)}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -129,11 +147,19 @@ func serve(addr string, maxBody int64, gopts server.GatewayOptions, w io.Writer,
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		srv.Shutdown(ctx)
+		// Stop the replication tailers before their target drains.
+		if follower != nil {
+			follower.Close()
+		}
 		g.Close()
 	}()
 
 	if gopts.DataDir != "" {
 		fmt.Fprintf(w, "grubd: persisting feeds under %s (%d recovered)\n", gopts.DataDir, len(g.Feeds()))
+	}
+	if follower != nil {
+		follower.Start()
+		fmt.Fprintf(w, "grubd: following leader %s (read-only replica)\n", follower.Leader())
 	}
 	fmt.Fprintf(w, "grubd: gateway listening on http://%s\n", ln.Addr())
 	if onReady != nil {

@@ -184,3 +184,67 @@ func TestVersionFlag(t *testing.T) {
 		t.Errorf("-version printed %q, want %q", buf.String(), want)
 	}
 }
+
+// TestFollowerMode runs a leader and a follower daemon end to end: the
+// follower mirrors the leader's feed, serves it read-only (403 + Leader
+// header on writes, which the client auto-follows), and reports its
+// replication health on /repl/status.
+func TestFollowerMode(t *testing.T) {
+	leaderReady := make(chan net.Addr, 1)
+	leaderStop := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	var leaderBuf, followerBuf bytes.Buffer
+	go func() {
+		leaderErr <- run([]string{"-addr", "127.0.0.1:0"}, &leaderBuf,
+			func(a net.Addr) { leaderReady <- a }, leaderStop)
+	}()
+	leaderURL := "http://" + (<-leaderReady).String()
+
+	followerReady := make(chan net.Addr, 1)
+	followerStop := make(chan struct{})
+	followerErr := make(chan error, 1)
+	go func() {
+		followerErr <- run([]string{"-addr", "127.0.0.1:0", "-follow", leaderURL}, &followerBuf,
+			func(a net.Addr) { followerReady <- a }, followerStop)
+	}()
+	followerURL := "http://" + (<-followerReady).String()
+
+	leaderC := server.NewClient(leaderURL)
+	if err := leaderC.CreateFeed(server.FeedConfig{ID: "f", Shards: 2, EpochOps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaderC.Do("f", []server.Op{{Type: "write", Key: "k", Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower replicates the feed and serves a verified read.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		res, err := server.NewVerifyingClient(followerURL).Get("f", "k")
+		if err == nil && res.Found && string(res.Record.Value) == "v" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never served the replicated write (last err %v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A write pointed at the follower lands on the leader via the Leader
+	// redirect.
+	if _, err := server.NewClient(followerURL).Do("f", []server.Op{{Type: "write", Key: "k2", Value: []byte("v2")}}); err != nil {
+		t.Fatalf("auto-followed write failed: %v", err)
+	}
+
+	close(followerStop)
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower returned: %v", err)
+	}
+	close(leaderStop)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader returned: %v", err)
+	}
+	if !bytes.Contains(followerBuf.Bytes(), []byte("following leader")) {
+		t.Errorf("follower banner missing: %q", followerBuf.String())
+	}
+}

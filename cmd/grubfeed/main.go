@@ -14,7 +14,10 @@
 // range scans against a feed and re-verify every Merkle proof against the
 // gateway's advertised roots, reporting verified ops/sec and proof bytes
 // per op. A single rejected proof fails the run — the gateway is untrusted
-// on this path.
+// on this path. With -replicas the verified readers spread round-robin
+// across follower gateways (grubd -follow) instead of the leader, after
+// waiting for each replica to catch up — the replicated read scale-out
+// path; writes still go to -gateway.
 //
 // Usage:
 //
@@ -23,6 +26,7 @@
 //	         [-batches 8] [-batch 16] [-workload A] [-records 64] [-shards 4]
 //	grubfeed -verify [-gateway http://host:8080] [-clients 32] [-reads 64]
 //	         [-records 64] [-shards 4]
+//	         [-replicas http://f1:8081,http://f2:8082]
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,6 +72,7 @@ func run(args []string, w io.Writer) error {
 	records := fs.Int("records", 64, "preloaded records per feed (-load/-verify)")
 	shards := fs.Int("shards", 1, "shards per feed: hash-partition each feed's keyspace (-load/-verify)")
 	reads := fs.Int("reads", 64, "verified reads per client (-verify)")
+	replicas := fs.String("replicas", "", "comma-separated follower URLs to spread verified readers across (-verify)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,10 +85,16 @@ func run(args []string, w io.Writer) error {
 			shards: *shards,
 		})
 	case *verify:
+		var replicaURLs []string
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicaURLs = append(replicaURLs, u)
+			}
+		}
 		return runVerify(w, verifyConfig{
 			gateway: *gateway, clients: *clients, reads: *reads,
 			records: *records, shards: *shards, policy: *polName,
-			k: *k, epoch: *epoch,
+			k: *k, epoch: *epoch, replicas: replicaURLs,
 		})
 	}
 	return runDemo(w, *ops, *polName, *k, *epoch)
@@ -218,6 +230,49 @@ type verifyConfig struct {
 	shards   int
 	policy   string
 	k, epoch int
+	// replicas spreads the verified readers round-robin across these
+	// follower URLs (writes still go to the gateway). Empty = read from
+	// the gateway itself.
+	replicas []string
+}
+
+// replicaCatchUpTimeout bounds how long -verify waits for each replica to
+// replicate the freshly preloaded feed before reading from it.
+const replicaCatchUpTimeout = 30 * time.Second
+
+// waitReplicas blocks until every replica's per-shard publication sequence
+// has reached the leader's, i.e. the preloaded state is fully replicated.
+func waitReplicas(w io.Writer, leader *server.Client, replicas []string, feedID string) error {
+	want, err := leader.Roots(feedID)
+	if err != nil {
+		return fmt.Errorf("leader roots: %w", err)
+	}
+	deadline := time.Now().Add(replicaCatchUpTimeout)
+	for _, url := range replicas {
+		rc := server.NewClient(url)
+		for {
+			roots, err := rc.Roots(feedID)
+			if err == nil && len(roots) == len(want) {
+				behind := false
+				for i := range want {
+					if roots[i].Seq < want[i].Seq {
+						behind = true
+						break
+					}
+				}
+				if !behind {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica %s did not catch up on feed %q within %v (last err: %v)",
+					url, feedID, replicaCatchUpTimeout, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		fmt.Fprintf(w, "replica %s caught up on %q\n", url, feedID)
+	}
+	return nil
 }
 
 // runVerify drives the authenticated read path: it preloads a feed, then
@@ -258,14 +313,22 @@ func runVerify(w io.Writer, cfg verifyConfig) error {
 		return err
 	}
 
-	fmt.Fprintf(w, "verify: %d light clients x %d reads + 1 range over %d records (%d shards)\n",
-		cfg.clients, cfg.reads, cfg.records, max(cfg.shards, 1))
+	readFrom := []string{url}
+	if len(cfg.replicas) > 0 {
+		if err := waitReplicas(w, admin, cfg.replicas, feedID); err != nil {
+			return err
+		}
+		readFrom = cfg.replicas
+	}
+
+	fmt.Fprintf(w, "verify: %d light clients x %d reads + 1 range over %d records (%d shards, %d read node(s))\n",
+		cfg.clients, cfg.reads, cfg.records, max(cfg.shards, 1), len(readFrom))
 	var wg sync.WaitGroup
 	errc := make(chan error, cfg.clients)
 	vcs := make([]*server.VerifyingClient, cfg.clients)
 	start := time.Now()
 	for ci := 0; ci < cfg.clients; ci++ {
-		vcs[ci] = server.NewVerifyingClient(url)
+		vcs[ci] = server.NewVerifyingClient(readFrom[ci%len(readFrom)])
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()

@@ -5,7 +5,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"grub/internal/repl"
 	"grub/internal/server"
 )
 
@@ -137,5 +139,45 @@ func TestVerifyStandalone(t *testing.T) {
 	}
 	if !strings.Contains(out, "shard 0 root") || !strings.Contains(out, "shard 1 root") {
 		t.Errorf("per-shard root lines missing:\n%s", out)
+	}
+}
+
+// TestVerifyAgainstReplicas spreads the verified readers across follower
+// gateways: an in-process leader takes the writes, two followers replicate
+// them, and every proof verifies against the replicas' advertised roots.
+func TestVerifyAgainstReplicas(t *testing.T) {
+	leader := server.NewGateway()
+	defer leader.Close()
+	leaderSrv := httptest.NewServer(server.NewHandler(leader))
+	defer leaderSrv.Close()
+
+	var replicas []string
+	for i := 0; i < 2; i++ {
+		fg := server.NewGateway()
+		defer fg.Close()
+		f := repl.NewFollower(repl.Options{
+			Leader: leaderSrv.URL,
+			Poll:   2 * time.Millisecond, Refresh: 10 * time.Millisecond,
+		}, fg.ReplTarget())
+		fsrv := httptest.NewServer(server.NewHandlerConfig(fg, server.HandlerConfig{Follower: f}))
+		defer fsrv.Close()
+		f.Start()
+		defer f.Close()
+		replicas = append(replicas, fsrv.URL)
+	}
+
+	var buf bytes.Buffer
+	args := []string{"-verify", "-gateway", leaderSrv.URL,
+		"-replicas", strings.Join(replicas, ","),
+		"-clients", "4", "-reads", "8", "-records", "24", "-shards", "2"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 read node(s)") || !strings.Contains(out, "caught up") {
+		t.Errorf("replica summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "verified ops/sec") {
+		t.Errorf("verify summary missing:\n%s", out)
 	}
 }

@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig5", "table3", "fig6", "table6",
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
-		"gateway", "shard", "persist", "query",
+		"gateway", "shard", "persist", "query", "repl",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -170,6 +170,34 @@ func TestPersistSmoke(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "WAL overhead") || !strings.Contains(out, "recovery") {
 		t.Errorf("persist report incomplete:\n%s", out)
+	}
+}
+
+// TestReplSmoke runs the replication experiment and pins its acceptance
+// bar: the cold follower must actually ship log bytes, and verified reads
+// must flow at every follower count.
+func TestReplSmoke(t *testing.T) {
+	e, err := ByID("repl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	var buf bytes.Buffer
+	cfg := Config{W: &buf, Scale: smokeScale, Seed: 7,
+		Metric: func(name string, v float64) { metrics[name] = v }}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["repl.catchup.MBps"] <= 0 {
+		t.Errorf("catch-up throughput missing or zero: %v", metrics)
+	}
+	for _, n := range []int{1, 2, 4} {
+		if metrics[fmt.Sprintf("repl.verified.opsPerSec.%df", n)] <= 0 {
+			t.Errorf("verified ops/sec at %d followers missing or zero: %v", n, metrics)
+		}
+	}
+	if !strings.Contains(buf.String(), "catch-up") {
+		t.Errorf("repl report incomplete:\n%s", buf.String())
 	}
 }
 

@@ -290,6 +290,16 @@ func (db *DB) NewIteratorAt(snap Snapshot) *Iterator {
 	return db.iteratorLocked(uint64(snap))
 }
 
+// NewIteratorFrom returns an iterator positioned at the first live key >=
+// start at the current snapshot. Durability layers that keep sequenced logs
+// under ordered keys (the shard op log, replication catch-up) use it to tail
+// from a cursor without scanning the keyspace below it.
+func (db *DB) NewIteratorFrom(start []byte) *Iterator {
+	it := db.NewIterator()
+	it.Seek(start)
+	return it
+}
+
 func (db *DB) iteratorLocked(maxSeq uint64) *Iterator {
 	var sources []*mergeSource
 	rank := 0

@@ -50,15 +50,21 @@ func (h *mergeHeap) Pop() any {
 // Tombstoned and shadowed versions are suppressed. The Key and Value slices
 // are valid until the next call to Next or Seek.
 type Iterator struct {
-	h      mergeHeap
-	maxSeq uint64
-	key    []byte
-	val    []byte
-	valid  bool
+	// sources is the full merge set. The heap only holds non-exhausted
+	// sources, and positioning pops the ones it drains — Seek must rebuild
+	// from every source, or a source consumed early (say a memtable whose
+	// only entry was yielded first) would silently vanish from the
+	// reseeked view.
+	sources []*mergeSource
+	h       mergeHeap
+	maxSeq  uint64
+	key     []byte
+	val     []byte
+	valid   bool
 }
 
 func newIterator(sources []*mergeSource, maxSeq uint64) *Iterator {
-	it := &Iterator{maxSeq: maxSeq}
+	it := &Iterator{maxSeq: maxSeq, sources: sources}
 	for _, s := range sources {
 		s.it.SeekToFirst()
 		if s.it.Valid() {
@@ -72,12 +78,8 @@ func newIterator(sources []*mergeSource, maxSeq uint64) *Iterator {
 
 // Seek repositions the iterator at the first live key >= user.
 func (it *Iterator) Seek(user []byte) {
-	var srcs []*mergeSource
-	for _, s := range it.h {
-		srcs = append(srcs, s)
-	}
 	it.h = it.h[:0]
-	for _, s := range srcs {
+	for _, s := range it.sources {
 		s.it.Seek(user)
 		if s.it.Valid() {
 			it.h = append(it.h, s)

@@ -1,0 +1,524 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a Follower.
+type Options struct {
+	// Leader is the leader gateway's base URL ("http://host:port").
+	Leader string
+	// HTTP overrides the transport. nil gets a client with a 10s timeout:
+	// replication fetches are small and quick, and an unbounded read on a
+	// blackholed leader connection would wedge the tailers — and with
+	// them Follower.Close and the daemon's graceful shutdown.
+	HTTP *http.Client
+	// Poll is the idle poll floor for log tailing (default 20ms). Pages
+	// with entries are drained back-to-back regardless.
+	Poll time.Duration
+	// MaxBackoff caps the exponential backoff on empty polls and transient
+	// errors (default 1s).
+	MaxBackoff time.Duration
+	// Refresh is the feed-list refresh cadence: new feeds on the leader
+	// start replicating within one refresh (default 500ms).
+	Refresh time.Duration
+	// MaxBatches bounds entries per log fetch (default 64).
+	MaxBatches int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTP == nil {
+		o.HTTP = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.Poll <= 0 {
+		o.Poll = 20 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	if o.Refresh <= 0 {
+		o.Refresh = 500 * time.Millisecond
+	}
+	if o.MaxBatches <= 0 {
+		o.MaxBatches = 64
+	}
+	return o
+}
+
+// Shard replication states reported by Status.
+const (
+	// StateSyncing: bootstrapping (ensure/snapshot) or not yet tailing.
+	StateSyncing = "syncing"
+	// StateTailing: healthy, applying the leader's log as it grows.
+	StateTailing = "tailing"
+	// StateHalted: divergence detected; replication refused to continue.
+	StateHalted = "halted"
+	// StateGone: the leader no longer hosts the feed; local state is kept
+	// (replication never deletes — operators do).
+	StateGone = "gone"
+	// StateFailed: the feed could not be created locally (config mismatch).
+	StateFailed = "failed"
+)
+
+// ShardStatus is one shard's replication health.
+type ShardStatus struct {
+	Shard     int    `json:"shard"`
+	Seq       uint64 `json:"seq"`
+	LeaderSeq uint64 `json:"leaderSeq"`
+	// Lag is LeaderSeq - Seq as last observed (negative never: clamped 0).
+	Lag   uint64 `json:"lag"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// FeedStatus is one feed's replication health, worst shard first in State.
+type FeedStatus struct {
+	ID     string        `json:"id"`
+	State  string        `json:"state"`
+	Error  string        `json:"error,omitempty"`
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// Follower replicates every leader feed into a local Target. Start launches
+// the manager (feed discovery) and one tailer goroutine per feed shard;
+// Close stops them all and waits. Close the Follower before closing the
+// gateway it replicates into.
+type Follower struct {
+	opts   Options
+	client *Client
+	target Target
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	feeds   map[string]*feedRepl
+	listErr error // last feed-list fetch failure
+	listed  bool  // at least one successful feed-list fetch
+}
+
+// feedRepl tracks one replicated feed.
+type feedRepl struct {
+	id   string
+	stop chan struct{} // closed when the feed leaves the leader
+
+	mu     sync.Mutex
+	state  string
+	err    error
+	shards []*shardTail
+}
+
+func (fr *feedRepl) fail(err error) {
+	fr.mu.Lock()
+	fr.state, fr.err = StateFailed, err
+	fr.mu.Unlock()
+}
+
+// markGone records that the feed left the leader and stops its tailers.
+// Both the manager (feed missing from a refresh) and any tailer (404 on a
+// log fetch) can observe the departure first; whoever does flips the state,
+// which also re-arms the retry should the leader recreate the feed.
+func (fr *feedRepl) markGone() {
+	fr.mu.Lock()
+	if fr.state != StateGone {
+		fr.state = StateGone
+		close(fr.stop)
+	}
+	fr.mu.Unlock()
+}
+
+// shardTail is one shard's tailer state.
+type shardTail struct {
+	shard int
+
+	mu        sync.Mutex
+	cursor    uint64
+	leaderSeq uint64
+	state     string
+	err       error
+}
+
+func (t *shardTail) set(state string, err error) {
+	t.mu.Lock()
+	t.state, t.err = state, err
+	t.mu.Unlock()
+}
+
+func (t *shardTail) observe(cursor, leaderSeq uint64) {
+	t.mu.Lock()
+	t.cursor = cursor
+	if leaderSeq > t.leaderSeq {
+		t.leaderSeq = leaderSeq
+	}
+	t.mu.Unlock()
+}
+
+// NewFollower returns an unstarted follower replicating opts.Leader into
+// target.
+func NewFollower(opts Options, target Target) *Follower {
+	opts = opts.withDefaults()
+	return &Follower{
+		opts:   opts,
+		client: &Client{Base: opts.Leader, HTTP: opts.HTTP},
+		target: target,
+		stop:   make(chan struct{}),
+		feeds:  make(map[string]*feedRepl),
+	}
+}
+
+// Leader returns the leader base URL this follower replicates from.
+func (f *Follower) Leader() string { return f.opts.Leader }
+
+// Start launches replication. It is idempotent.
+func (f *Follower) Start() {
+	f.startOnce.Do(func() {
+		f.wg.Add(1)
+		go f.run()
+	})
+}
+
+// Close stops every replication goroutine and waits for them to exit.
+func (f *Follower) Close() {
+	f.closeOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// sleep waits d, returning false if the follower (or the feed) stopped.
+func (f *Follower) sleep(d time.Duration, feedStop <-chan struct{}) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-f.stop:
+		return false
+	case <-feedStop:
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+func (f *Follower) grow(b time.Duration) time.Duration {
+	b *= 2
+	if b > f.opts.MaxBackoff {
+		b = f.opts.MaxBackoff
+	}
+	return b
+}
+
+// run is the manager loop: it discovers the leader's feeds, ensures each
+// exists locally and keeps the tracked set in sync with the leader's.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := f.opts.Poll
+	for {
+		infos, err := f.client.Feeds()
+		if err != nil {
+			f.mu.Lock()
+			f.listErr = err
+			f.mu.Unlock()
+			if !f.sleep(backoff, nil) {
+				return
+			}
+			backoff = f.grow(backoff)
+			continue
+		}
+		backoff = f.opts.Poll
+		f.mu.Lock()
+		f.listErr = nil
+		f.mu.Unlock()
+		f.syncFeeds(infos)
+		// Publish "listed" only after the fetched feed set is reconciled:
+		// Converged must never report true off a fresh-but-empty tracking
+		// map while the first sync is still registering feeds.
+		f.mu.Lock()
+		f.listed = true
+		f.mu.Unlock()
+		if !f.sleep(f.opts.Refresh, nil) {
+			return
+		}
+	}
+}
+
+// syncFeeds reconciles the tracked feed set against the leader's list:
+// unseen feeds start replicating, vanished feeds stop (their local state is
+// retained).
+func (f *Follower) syncFeeds(infos []FeedInfo) {
+	present := make(map[string]bool, len(infos))
+	var fresh []struct {
+		fr  *feedRepl
+		cfg json.RawMessage
+	}
+	f.mu.Lock()
+	for _, info := range infos {
+		present[info.ID] = true
+		if existing, ok := f.feeds[info.ID]; ok {
+			// A feed that previously left the leader (gone: its tailers
+			// are stopped) or never started (failed: config mismatch or
+			// transient create error) is retried with the leader's
+			// current config — a deleted-and-recreated feed resumes
+			// replicating instead of staying parked. If the local state
+			// is now ahead of the recreated history, the tailer halts
+			// with a divergence error rather than forking.
+			existing.mu.Lock()
+			retry := existing.state == StateGone || existing.state == StateFailed
+			existing.mu.Unlock()
+			if !retry {
+				continue
+			}
+		}
+		fr := &feedRepl{id: info.ID, stop: make(chan struct{}), state: StateSyncing}
+		f.feeds[info.ID] = fr
+		fresh = append(fresh, struct {
+			fr  *feedRepl
+			cfg json.RawMessage
+		}{fr, info.Config})
+	}
+	var gone []*feedRepl
+	for id, fr := range f.feeds {
+		if !present[id] {
+			gone = append(gone, fr)
+		}
+	}
+	f.mu.Unlock()
+
+	for _, g := range gone {
+		g.markGone()
+	}
+	// EnsureFeed can run feed recovery; keep it off the status lock.
+	for _, nf := range fresh {
+		f.startFeed(nf.fr, nf.cfg)
+	}
+}
+
+// startFeed creates the feed locally (or adopts the recovered one) and
+// launches its per-shard tailers.
+func (f *Follower) startFeed(fr *feedRepl, cfg json.RawMessage) {
+	if err := f.target.EnsureFeed(fr.id, cfg); err != nil {
+		fr.fail(err)
+		return
+	}
+	lf, err := f.target.Feed(fr.id)
+	if err != nil {
+		fr.fail(err)
+		return
+	}
+	tails := make([]*shardTail, lf.Shards())
+	for i := range tails {
+		tails[i] = &shardTail{shard: i, state: StateSyncing}
+	}
+	fr.mu.Lock()
+	fr.state, fr.shards = StateTailing, tails
+	fr.mu.Unlock()
+	for _, t := range tails {
+		f.wg.Add(1)
+		go f.tail(fr, lf, t)
+	}
+}
+
+// tail is one shard's replication loop: resume from the local cursor,
+// bootstrap from a snapshot when the cursor fell below the leader's retained
+// floor, then apply pages of anchored batches, backing off when idle and
+// halting permanently on divergence.
+func (f *Follower) tail(fr *feedRepl, lf Feed, t *shardTail) {
+	defer f.wg.Done()
+	cursor, err := lf.Seq(t.shard)
+	if err != nil {
+		t.set(StateHalted, err)
+		return
+	}
+	t.observe(cursor, 0)
+	backoff := f.opts.Poll
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-fr.stop:
+			t.set(StateGone, nil)
+			return
+		default:
+		}
+		page, err := f.client.Log(fr.id, t.shard, cursor, f.opts.MaxBatches)
+		if err != nil {
+			if errors.Is(err, ErrFeedGone) {
+				t.set(StateGone, err)
+				fr.markGone()
+				return
+			}
+			t.set(StateSyncing, err)
+			if !f.sleep(backoff, fr.stop) {
+				return
+			}
+			backoff = f.grow(backoff)
+			continue
+		}
+		t.observe(cursor, page.LeaderSeq)
+		if page.LeaderSeq < cursor {
+			// The local shard is ahead of the leader: wrong leader, local
+			// writes, or leader data loss. Following it would fork.
+			t.set(StateHalted, fmt.Errorf("%w: local seq %d ahead of leader seq %d",
+				ErrDivergence, cursor, page.LeaderSeq))
+			return
+		}
+		if page.SnapshotRequired {
+			t.set(StateSyncing, nil)
+			snap, err := f.client.Snapshot(fr.id, t.shard)
+			if err == nil {
+				var seq uint64
+				seq, err = lf.Reset(t.shard, snap)
+				if err == nil {
+					cursor = seq
+					t.observe(cursor, page.LeaderSeq)
+					backoff = f.opts.Poll
+					continue
+				}
+				if errors.Is(err, ErrDivergence) {
+					t.set(StateHalted, err)
+					return
+				}
+			}
+			t.set(StateSyncing, err)
+			if !f.sleep(backoff, fr.stop) {
+				return
+			}
+			backoff = f.grow(backoff)
+			continue
+		}
+		if len(page.Entries) == 0 {
+			t.set(StateTailing, nil)
+			if !f.sleep(backoff, fr.stop) {
+				return
+			}
+			backoff = f.grow(backoff)
+			continue
+		}
+		pageErr := false
+		for _, e := range page.Entries {
+			if err := lf.Apply(t.shard, e); err != nil {
+				if errors.Is(err, ErrDivergence) {
+					t.set(StateHalted, err)
+					return
+				}
+				// Sequence gap or transient engine trouble: resync the
+				// cursor from the local shard, keep the error visible in
+				// the status, and refetch after a backoff.
+				if seq, serr := lf.Seq(t.shard); serr == nil {
+					cursor = seq
+				}
+				t.set(StateSyncing, err)
+				pageErr = true
+				break
+			}
+			cursor = e.Seq
+		}
+		t.observe(cursor, page.LeaderSeq)
+		if !pageErr {
+			t.set(StateTailing, nil)
+			backoff = f.opts.Poll // progress: drain the next page immediately
+			continue
+		}
+		if !f.sleep(backoff, fr.stop) {
+			return
+		}
+		backoff = f.grow(backoff)
+	}
+}
+
+// Status reports replication health per feed, sorted by feed ID. Err (if
+// any) is the last feed-list fetch failure.
+func (f *Follower) Status() (feeds []FeedStatus, err error) {
+	f.mu.Lock()
+	tracked := make([]*feedRepl, 0, len(f.feeds))
+	for _, fr := range f.feeds {
+		tracked = append(tracked, fr)
+	}
+	err = f.listErr
+	f.mu.Unlock()
+
+	for _, fr := range tracked {
+		fr.mu.Lock()
+		fs := FeedStatus{ID: fr.id, State: fr.state}
+		if fr.err != nil {
+			fs.Error = fr.err.Error()
+		}
+		shards := fr.shards
+		fr.mu.Unlock()
+		for _, t := range shards {
+			t.mu.Lock()
+			ss := ShardStatus{Shard: t.shard, Seq: t.cursor, LeaderSeq: t.leaderSeq, State: t.state}
+			if t.leaderSeq > t.cursor {
+				ss.Lag = t.leaderSeq - t.cursor
+			}
+			if t.err != nil {
+				ss.Error = t.err.Error()
+			}
+			t.mu.Unlock()
+			fs.Shards = append(fs.Shards, ss)
+			if worse(ss.State, fs.State) {
+				fs.State = ss.State
+			}
+		}
+		feeds = append(feeds, fs)
+	}
+	sort.Slice(feeds, func(i, j int) bool { return feeds[i].ID < feeds[j].ID })
+	return feeds, err
+}
+
+// stateRank orders shard states by severity for the feed-level rollup.
+var stateRank = map[string]int{StateTailing: 0, StateSyncing: 1, StateGone: 2, StateFailed: 3, StateHalted: 4}
+
+func worse(a, b string) bool { return stateRank[a] > stateRank[b] }
+
+// Converged reports whether the follower has fetched the leader's feed list
+// and every replicated shard is tailing with zero lag.
+func (f *Follower) Converged() bool {
+	f.mu.Lock()
+	listed := f.listed
+	f.mu.Unlock()
+	if !listed {
+		return false
+	}
+	feeds, err := f.Status()
+	if err != nil {
+		return false
+	}
+	for _, fs := range feeds {
+		if fs.State == StateGone {
+			continue
+		}
+		if fs.State != StateTailing || len(fs.Shards) == 0 {
+			return false
+		}
+		for _, ss := range fs.Shards {
+			if ss.State != StateTailing || ss.Lag != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WaitConverged polls Converged until it holds or the timeout elapses. It is
+// a convenience for drivers and tests; production followers tail forever.
+func (f *Follower) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Converged() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			feeds, err := f.Status()
+			return fmt.Errorf("repl: not converged after %v (feeds %+v, list err %v)", timeout, feeds, err)
+		}
+		if !f.sleep(2*time.Millisecond, nil) {
+			return fmt.Errorf("repl: follower closed before convergence")
+		}
+	}
+}

@@ -31,26 +31,47 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// call performs one JSON round-trip. out may be nil.
+// call performs one JSON round-trip. out may be nil. A 403 carrying a
+// Leader header — a read-only follower refusing a write — is transparently
+// retried once against the named leader, so a client pointed at a replica
+// still lands its writes.
 func (c *Client) call(method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
 		}
-		body = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	do := func(base string) (*http.Response, error) {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return c.httpClient().Do(req)
+	}
+	resp, err := do(c.BaseURL)
 	if err != nil {
 		return err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
+	if resp.StatusCode == http.StatusForbidden {
+		// One hop only: if the "leader" is itself a follower, its own 403
+		// comes back to the caller rather than chasing a redirect chain.
+		if leader := resp.Header.Get("Leader"); leader != "" && leader != c.BaseURL {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp, err = do(leader); err != nil {
+				return err
+			}
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {

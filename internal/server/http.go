@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"grub/internal/query"
+	"grub/internal/repl"
 	"grub/internal/shard"
 )
 
@@ -14,6 +16,11 @@ import (
 // unbounded body would let one client exhaust the gateway's memory before a
 // single op executes.
 const DefaultMaxBodyBytes int64 = 8 << 20
+
+// maxLogBatches caps replication log entries per GET /repl/.../log page
+// (and is the default when the follower does not ask for less), bounding
+// response size the way MaxBodyBytes bounds requests.
+const maxLogBatches = 256
 
 // HandlerConfig tunes the HTTP layer.
 type HandlerConfig struct {
@@ -26,6 +33,13 @@ type HandlerConfig struct {
 	// VerifyingClient rejection tests have something to reject;
 	// production configs leave it nil.
 	TamperQuery func(any)
+	// Follower, when non-nil, puts the handler in read-only follower mode:
+	// mutating routes (create feed, ops, delete) answer 403 with a Leader
+	// header, a Retry-After hint and a structured JSON error naming the
+	// leader, and GET /repl/status and /metrics report the follower's
+	// replication health. Reads — including the authenticated read path —
+	// serve locally from the replicated state.
+	Follower *repl.Follower
 }
 
 // BatchRequest is the body of POST /feeds/{id}/ops.
@@ -76,6 +90,27 @@ type HealthResponse struct {
 	OK      bool   `json:"ok"`
 	Feeds   int    `json:"feeds"`
 	Version string `json:"version"`
+	// Follower is the leader URL when this gateway is a read-only replica
+	// ("" on a leader/standalone gateway).
+	Follower string `json:"follower,omitempty"`
+}
+
+// ReplFeedsResponse is the body of GET /repl/feeds: every hosted feed's
+// config, verbatim — what a follower needs to mirror the feed set.
+type ReplFeedsResponse struct {
+	Feeds []FeedConfig `json:"feeds"`
+}
+
+// ReplStatusResponse is the body of GET /repl/status. On a leader it only
+// reports Follower=false; on a follower it carries per-feed, per-shard
+// replication health (cursor, leader seq, lag, tailer state).
+type ReplStatusResponse struct {
+	Follower bool              `json:"follower"`
+	Leader   string            `json:"leader,omitempty"`
+	Feeds    []repl.FeedStatus `json:"feeds,omitempty"`
+	// Error is the last feed-list fetch failure against the leader, if
+	// any (transient while the leader restarts).
+	Error string `json:"error,omitempty"`
 }
 
 // GetResponse is the body of GET /feeds/{id}/get?key=K: an authenticated
@@ -103,9 +138,12 @@ type RootsResponse struct {
 	Shards []query.RootInfo `json:"shards"`
 }
 
-// errorBody is the JSON shape of every non-2xx response.
+// errorBody is the JSON shape of every non-2xx response. Leader is set only
+// on follower-mode write rejections: it names the node that accepts writes
+// (also sent as the Leader response header, which Client auto-follows).
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Leader string `json:"leader,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -164,7 +202,28 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 	}
 	mux := http.NewServeMux()
 
+	// rejectWrite answers mutating requests on a read-only follower: 403
+	// with the leader's URL in both the Leader header (Client auto-follows
+	// it once) and the structured JSON body, plus a Retry-After hint for
+	// clients that would rather wait out a promotion.
+	rejectWrite := func(w http.ResponseWriter) bool {
+		if hc.Follower == nil {
+			return false
+		}
+		leader := hc.Follower.Leader()
+		w.Header().Set("Leader", leader)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusForbidden, errorBody{
+			Error:  fmt.Sprintf("read-only follower: writes go to the leader at %s", leader),
+			Leader: leader,
+		})
+		return true
+	}
+
 	mux.HandleFunc("POST /feeds", func(w http.ResponseWriter, r *http.Request) {
+		if rejectWrite(w) {
+			return
+		}
 		var cfg FeedConfig
 		if !decodeBody(w, r, maxBody, &cfg) {
 			return
@@ -181,6 +240,9 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 	})
 
 	mux.HandleFunc("POST /feeds/{id}/ops", func(w http.ResponseWriter, r *http.Request) {
+		if rejectWrite(w) {
+			return
+		}
 		var req BatchRequest
 		if !decodeBody(w, r, maxBody, &req) {
 			return
@@ -230,11 +292,90 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, HealthResponse{
+		resp := HealthResponse{
 			OK:      true,
 			Feeds:   len(g.Feeds()),
 			Version: Version,
-		})
+		}
+		if hc.Follower != nil {
+			resp.Follower = hc.Follower.Leader()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /metrics", metricsHandler(g, hc.Follower))
+
+	// Replication surface: every gateway ships its per-shard log (leader
+	// role needs no configuration); /repl/status reports the follower
+	// role's tailer health.
+	mux.HandleFunc("GET /repl/feeds", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ReplFeedsResponse{Feeds: g.ReplConfigs()})
+	})
+
+	shardIdx := func(w http.ResponseWriter, r *http.Request) (int, bool) {
+		s, err := strconv.Atoi(r.PathValue("shard"))
+		if err != nil || s < 0 {
+			writeErr(w, fmt.Errorf("server: %w: bad shard %q", ErrBadConfig, r.PathValue("shard")))
+			return 0, false
+		}
+		return s, true
+	}
+
+	mux.HandleFunc("GET /repl/feeds/{id}/shards/{shard}/log", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := shardIdx(w, r)
+		if !ok {
+			return
+		}
+		q := r.URL.Query()
+		from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+		if q.Get("from") != "" && err != nil {
+			writeErr(w, fmt.Errorf("server: %w: bad from %q", ErrBadConfig, q.Get("from")))
+			return
+		}
+		max := maxLogBatches
+		if m := q.Get("max"); m != "" {
+			v, err := strconv.Atoi(m)
+			if err != nil || v < 1 {
+				writeErr(w, fmt.Errorf("server: %w: bad max %q", ErrBadConfig, m))
+				return
+			}
+			if v < max {
+				max = v
+			}
+		}
+		page, err := g.ReplLog(r.PathValue("id"), s, from, max)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, page)
+	})
+
+	mux.HandleFunc("GET /repl/feeds/{id}/shards/{shard}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := shardIdx(w, r)
+		if !ok {
+			return
+		}
+		snap, err := g.ReplSnapshot(r.PathValue("id"), s)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+
+	mux.HandleFunc("GET /repl/status", func(w http.ResponseWriter, r *http.Request) {
+		resp := ReplStatusResponse{}
+		if hc.Follower != nil {
+			resp.Follower = true
+			resp.Leader = hc.Follower.Leader()
+			feeds, err := hc.Follower.Status()
+			resp.Feeds = feeds
+			if err != nil {
+				resp.Error = err.Error()
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	// tamper lets the rejection tests model a compromised gateway; it is
@@ -309,6 +450,9 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 	})
 
 	mux.HandleFunc("DELETE /feeds/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if rejectWrite(w) {
+			return
+		}
 		if err := g.CloseFeed(r.PathValue("id")); err != nil {
 			writeErr(w, err)
 			return

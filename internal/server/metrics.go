@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"grub/internal/repl"
+)
+
+// GET /metrics: Prometheus text exposition (format 0.0.4), hand-rendered so
+// the gateway stays dependency-free. Per-feed counters come from the same
+// Stats snapshot the JSON API serves; on a follower the replication gauges
+// (notably grub_repl_lag = leader seq − follower seq, per shard) come from
+// the follower's tailer status.
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// metricsHandler renders the gateway's metrics; follower may be nil (leader
+// or standalone mode).
+func metricsHandler(g *Gateway, follower *repl.Follower) http.HandlerFunc {
+	type series struct {
+		name, help, typ string
+		samples         []string
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ids := g.Feeds()
+		feedSeries := []series{
+			{name: "grub_feed_ops_total", help: "Executed ops per feed.", typ: "counter"},
+			{name: "grub_feed_batches_total", help: "Executed batches per feed.", typ: "counter"},
+			{name: "grub_feed_gas_total", help: "Cumulative feed-layer gas per feed.", typ: "counter"},
+			{name: "grub_feed_records", help: "Records currently held per feed.", typ: "gauge"},
+			{name: "grub_feed_delivered_total", help: "Reads delivered per feed.", typ: "counter"},
+			{name: "grub_feed_replicated", help: "Records currently replicated on-chain per feed.", typ: "gauge"},
+			{name: "grub_feed_persist_snapshots_total", help: "Durable snapshots taken per feed.", typ: "counter"},
+			{name: "grub_feed_persist_logged_batches", help: "Durable log records retained since the last snapshot per feed.", typ: "gauge"},
+		}
+		for _, id := range ids {
+			st, err := g.Stats(id)
+			if err != nil {
+				continue // closed mid-scrape
+			}
+			label := fmt.Sprintf(`{feed="%s"}`, escapeLabel(id))
+			add := func(i int, v float64) {
+				feedSeries[i].samples = append(feedSeries[i].samples, fmt.Sprintf("%s%s %g", feedSeries[i].name, label, v))
+			}
+			add(0, float64(st.Ops))
+			add(1, float64(st.Batches))
+			add(2, float64(st.Feed.FeedGas))
+			add(3, float64(st.Feed.Records))
+			add(4, float64(st.Feed.Delivered))
+			add(5, float64(st.Feed.Replicated))
+			if st.Persist != nil {
+				add(6, float64(st.Persist.Snapshots))
+				add(7, float64(st.Persist.LoggedBatches))
+			}
+		}
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "# HELP grub_gateway_feeds Feeds hosted by this gateway.\n# TYPE grub_gateway_feeds gauge\ngrub_gateway_feeds %d\n", len(ids))
+		isFollower := 0
+		if follower != nil {
+			isFollower = 1
+		}
+		fmt.Fprintf(&b, "# HELP grub_repl_follower Whether this gateway runs in follower mode.\n# TYPE grub_repl_follower gauge\ngrub_repl_follower %d\n", isFollower)
+		for _, s := range feedSeries {
+			if len(s.samples) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ)
+			for _, line := range s.samples {
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+		if follower != nil {
+			writeFollowerMetrics(&b, follower)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(b.String()))
+	}
+}
+
+// replStateCode maps tailer states to a numeric gauge (0 healthy ... 4
+// halted), so alerts can threshold on it.
+var replStateCode = map[string]int{
+	repl.StateTailing: 0, repl.StateSyncing: 1, repl.StateGone: 2,
+	repl.StateFailed: 3, repl.StateHalted: 4,
+}
+
+func writeFollowerMetrics(b *strings.Builder, follower *repl.Follower) {
+	feeds, _ := follower.Status()
+	sort.Slice(feeds, func(i, j int) bool { return feeds[i].ID < feeds[j].ID })
+	var seq, leaderSeq, lag, state []string
+	for _, fs := range feeds {
+		for _, ss := range fs.Shards {
+			label := fmt.Sprintf(`{feed="%s",shard="%d"}`, escapeLabel(fs.ID), ss.Shard)
+			seq = append(seq, fmt.Sprintf("grub_repl_seq%s %d", label, ss.Seq))
+			leaderSeq = append(leaderSeq, fmt.Sprintf("grub_repl_leader_seq%s %d", label, ss.LeaderSeq))
+			lag = append(lag, fmt.Sprintf("grub_repl_lag%s %d", label, ss.Lag))
+			state = append(state, fmt.Sprintf("grub_repl_state%s %d", label, replStateCode[ss.State]))
+		}
+	}
+	write := func(name, help, typ string, samples []string) {
+		if len(samples) == 0 {
+			return
+		}
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, s := range samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	write("grub_repl_seq", "Follower's applied batch sequence per feed shard.", "gauge", seq)
+	write("grub_repl_leader_seq", "Leader's batch sequence as last observed, per feed shard.", "gauge", leaderSeq)
+	write("grub_repl_lag", "Replication lag (leader seq - follower seq) per feed shard.", "gauge", lag)
+	write("grub_repl_state", "Tailer state per feed shard (0 tailing, 1 syncing, 2 gone, 3 failed, 4 halted).", "gauge", state)
+}

@@ -31,6 +31,11 @@ type GatewayOptions struct {
 	SnapshotEvery int
 	// SyncWrites fsyncs every durable log append.
 	SyncWrites bool
+	// ReplRetain caps each shard's in-memory replication log (entries
+	// served to followers from GET /repl/.../log); 0 means
+	// shard.DefaultReplRetain. Followers further behind bootstrap from a
+	// snapshot.
+	ReplRetain int
 }
 
 // manifest is the serialized feed registry.
@@ -56,7 +61,7 @@ func NewGatewayWithOptions(opts GatewayOptions) (*Gateway, error) {
 	}
 	for _, cfg := range m.Feeds {
 		entry := &feedEntry{cfg: cfg, dir: g.feedDir(cfg.ID)}
-		sf, err := newShardedFeed(cfg, g.persistOptions(entry.dir))
+		sf, err := newShardedFeed(cfg, g.persistOptions(entry.dir), opts.ReplRetain)
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("server: recover feed %q: %w", cfg.ID, err)

@@ -173,25 +173,31 @@ func RestoreFeedFromConfig(cfg FeedConfig, snap *core.FeedSnapshot) (*core.Feed,
 // identically-configured feeds (each on its own chain) behind one
 // scatter-gather front. It is how the gateway hosts every in-memory feed.
 func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
-	return newShardedFeed(cfg, nil)
+	return newShardedFeed(cfg, nil, 0)
 }
 
 // newShardedFeed builds a feed's shard engine, durable when persist is
 // non-nil (in which case whatever state persist.Dir already holds is
-// recovered first). Every gateway feed publishes read views: the
-// authenticated read path (/feeds/{id}/get, /range, /roots) is part of the
-// serving surface, not an opt-in.
-func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions) (*shard.ShardedFeed, error) {
+// recovered first). Every gateway feed publishes read views and keeps a
+// replication log: the authenticated read path (/feeds/{id}/get, /range,
+// /roots) and the log-shipping surface (/repl/*) are part of the serving
+// surface, not opt-ins — any gateway can lead followers.
+func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions, replRetain int) (*shard.ShardedFeed, error) {
 	if _, _, err := feedParts(cfg); err != nil {
 		return nil, err // reject bad configs before touching disk
 	}
+	restore := func(_ int, snap *core.FeedSnapshot) (*core.Feed, error) {
+		return RestoreFeedFromConfig(cfg, snap)
+	}
 	if persist != nil {
-		persist.Restore = func(_ int, snap *core.FeedSnapshot) (*core.Feed, error) {
-			return RestoreFeedFromConfig(cfg, snap)
-		}
+		persist.Restore = restore
 	}
 	return shard.New(
-		shard.Options{Shards: cfg.Shards, RecordTrace: cfg.RecordTrace, Views: true, Persist: persist},
+		shard.Options{
+			Shards: cfg.Shards, RecordTrace: cfg.RecordTrace,
+			Views: true, Persist: persist,
+			Repl: true, ReplRetain: replRetain, Restore: restore,
+		},
 		func(int) (*core.Feed, error) { return NewFeed(cfg) },
 	)
 }
@@ -270,7 +276,7 @@ func (g *Gateway) CreateFeed(cfg FeedConfig) error {
 			return err
 		}
 	}
-	sf, err := newShardedFeed(cfg, persist)
+	sf, err := newShardedFeed(cfg, persist, g.opts.ReplRetain)
 	if err != nil {
 		if g.persistent() {
 			g.writeManifestWithout(cfg.ID) // roll the reservation back

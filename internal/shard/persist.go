@@ -10,6 +10,7 @@ import (
 	"grub/internal/core"
 	"grub/internal/gas"
 	"grub/internal/kvstore"
+	"grub/internal/repl"
 )
 
 // Persistence: each shard owns a kvstore.DB under the feed's data
@@ -155,10 +156,10 @@ func (p *persister) snapshot(st *shardState) error {
 	// flushes to an SSTable, compaction folds the tombstones away and the
 	// engine's WAL restarts empty.
 	b := kvstore.NewBatch()
-	for it := p.db.NewIterator(); it.Valid(); it.Next() {
+	for it := p.db.NewIteratorFrom([]byte(logKeyPrefix)); it.Valid(); it.Next() {
 		key := string(it.Key())
 		if !strings.HasPrefix(key, logKeyPrefix) {
-			continue
+			break // past the log keyspace (keys iterate sorted)
 		}
 		_, seq, _, err := kvstore.DecodeTypedRecord(it.Value())
 		if err != nil {
@@ -186,6 +187,43 @@ func (p *persister) maybeSnapshot(st *shardState) error {
 	if p.snapshotEvery <= 0 || p.sinceSnapshot < p.snapshotEvery {
 		return nil
 	}
+	return p.snapshot(st)
+}
+
+// rollbackBatch removes the most recently logged batch — one the replication
+// anchor check refused — so it cannot replay into recovered state. seq must
+// be the last appended sequence.
+func (p *persister) rollbackBatch(seq uint64) error {
+	if seq != p.nextSeq-1 {
+		return fmt.Errorf("shard: rollback seq %d is not the last logged %d", seq, p.nextSeq-1)
+	}
+	if err := p.db.Delete(logKey(seq)); err != nil {
+		return fmt.Errorf("shard: rollback batch %d: %w", seq, err)
+	}
+	p.nextSeq = seq
+	p.loggedBatches--
+	p.sinceSnapshot--
+	return nil
+}
+
+// resetTo reinstalls the store around a replication bootstrap: every local
+// log record is dropped (the local history — possibly stale or diverged —
+// is superseded wholesale by the leader snapshot) and the freshly installed
+// state is snapshotted at seq as the new durable base.
+func (p *persister) resetTo(st *shardState, seq uint64) error {
+	b := kvstore.NewBatch()
+	for it := p.db.NewIteratorFrom([]byte(logKeyPrefix)); it.Valid(); it.Next() {
+		if !strings.HasPrefix(string(it.Key()), logKeyPrefix) {
+			break
+		}
+		b.Delete(it.Key())
+	}
+	if err := p.db.Write(b); err != nil {
+		return fmt.Errorf("shard: drop superseded log: %w", err)
+	}
+	p.nextSeq = seq + 1
+	p.loggedBatches = 0
+	p.sinceSnapshot = 0
 	return p.snapshot(st)
 }
 
@@ -235,15 +273,23 @@ func recoverShard(p *persister, idx int, opts Options, build func(int) (*core.Fe
 		st = shardState{base: feed.FeedGas()}
 	}
 	st.feed = feed
+	if opts.Repl {
+		// The replication log restarts at the snapshot's sequence; every
+		// replayed batch below re-anchors into it, so a follower that was
+		// tailing this shard before the crash resumes without a snapshot
+		// bootstrap as long as its cursor is above the durable snapshot.
+		st.repl = newReplLog(opts.ReplRetain)
+		st.repl.reset(lastSeq)
+	}
 
-	// Replay the log above the snapshot, in sequence order (the iterator
-	// yields log keys sorted, and the fixed-width hex key preserves
-	// numeric order).
+	// Replay the log above the snapshot, in sequence order: the cursor-
+	// positioned iterator starts at the first retained record past the
+	// snapshot (the fixed-width hex key preserves numeric order).
 	maxSeq := lastSeq
-	for it := p.db.NewIterator(); it.Valid(); it.Next() {
+	for it := p.db.NewIteratorFrom(logKey(lastSeq + 1)); it.Valid(); it.Next() {
 		key := string(it.Key())
 		if !strings.HasPrefix(key, logKeyPrefix) {
-			continue
+			break // past the log keyspace
 		}
 		kind, seq, payload, err := kvstore.DecodeTypedRecord(it.Value())
 		if err != nil {
@@ -263,6 +309,13 @@ func recoverShard(p *persister, idx int, opts Options, build func(int) (*core.Fe
 		if opts.RecordTrace {
 			st.trace = append(st.trace, ops...)
 			st.traceRes = append(st.traceRes, results...)
+		}
+		if st.repl != nil {
+			set := feed.DO.Set()
+			st.repl.append(repl.Entry{
+				Seq: seq, Ops: ops,
+				Root: set.Root(), Count: set.Len(), Height: feed.Chain.Height(),
+			})
 		}
 		if seq > maxSeq {
 			maxSeq = seq

@@ -26,12 +26,15 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"grub/internal/core"
 	"grub/internal/gas"
+	"grub/internal/merkle"
 	"grub/internal/query"
+	"grub/internal/repl"
 )
 
 // ErrClosed is returned by operations on a closed ShardedFeed.
@@ -63,6 +66,21 @@ type Options struct {
 	// snapshot store (see persist.go); New recovers whatever state the
 	// directory already holds.
 	Persist *PersistOptions
+	// Repl keeps a bounded in-memory replication log per shard (every
+	// applied batch with its post-apply anchor) and enables the
+	// Apply/Reset/ReplSnapshot replication entry points (see repl.go).
+	// Costs one root computation per batch — shared with the view clone
+	// when Views is also set, as on every gateway feed.
+	Repl bool
+	// ReplRetain caps the replication log length per shard (entries); 0
+	// means DefaultReplRetain. Followers further behind bootstrap from a
+	// snapshot.
+	ReplRetain int
+	// Restore rebuilds one shard's feed from a snapshot for the
+	// replication bootstrap path (Reset); it must wire the feed exactly as
+	// the build callback would, then install the snapshot state. Falls
+	// back to Persist.Restore when nil.
+	Restore func(shard int, snap *core.FeedSnapshot) (*core.Feed, error)
 }
 
 // ErrNotPersistent is returned by Snapshot on a feed without persistence.
@@ -81,6 +99,10 @@ type ShardStat struct {
 	// Persist reports the shard's durability counters (nil without
 	// persistence).
 	Persist *PersistStat `json:"persist,omitempty"`
+	// Diverged reports a halted replication anchor check (follower role):
+	// the shard refused a batch whose post-apply state disagreed with the
+	// leader's anchor and stopped replicating. Empty when healthy.
+	Diverged string `json:"diverged,omitempty"`
 }
 
 // Stats aggregates a sharded feed: summed gas counters and read accounting
@@ -124,14 +146,19 @@ const (
 	reqStats
 	reqTrace
 	reqSnapshot
-	reqStop // graceful: final snapshot (if persistent), close store
-	reqKill // crash simulation: abandon the store as-is
+	reqRepl      // replicated apply: log-then-apply + anchor check
+	reqReplSnap  // consistent bootstrap snapshot at the current seq
+	reqReplReset // install a bootstrap snapshot wholesale
+	reqStop      // graceful: final snapshot (if persistent), close store
+	reqKill      // crash simulation: abandon the store as-is
 )
 
 type request struct {
-	kind reqKind
-	ops  []core.Op
-	resp chan response
+	kind  reqKind
+	ops   []core.Op
+	entry *repl.Entry    // reqRepl
+	snap  *repl.Snapshot // reqReplReset
+	resp  chan response
 }
 
 type response struct {
@@ -139,6 +166,7 @@ type response struct {
 	stat     ShardStat
 	trace    []core.Op
 	traceRes []core.OpResult
+	snap     *repl.Snapshot
 	err      error
 }
 
@@ -158,6 +186,11 @@ type shardState struct {
 	trace    []core.Op
 	traceRes []core.OpResult
 	persist  *persister // nil without persistence
+	// repl is the shard's in-memory replication log (nil without
+	// Options.Repl); diverged, once set, permanently refuses further
+	// replicated applies on this shard (follower role, anchor mismatch).
+	repl     *replLog
+	diverged error
 	// persistErr holds the last automatic-snapshot failure. Auto-snapshot
 	// failures do not fail the batch that triggered them (the batch is
 	// applied and logged; only compaction is behind) — they surface as
@@ -175,6 +208,9 @@ type worker struct {
 	// views, when non-nil, receives this shard's read view after every
 	// applied batch (Options.Views).
 	views *query.Engine
+	// restore rebuilds the shard's feed from a snapshot (replication
+	// bootstrap); nil disables Reset.
+	restore func(shard int, snap *core.FeedSnapshot) (*core.Feed, error)
 }
 
 // publishView snapshots the shard's current state into an immutable read
@@ -187,6 +223,24 @@ func (w *worker) publishView(st *shardState) {
 	}
 	frozen := st.feed.DO.Set().Clone()
 	w.views.Publish(w.idx, query.NewView(w.idx, uint64(st.batches), st.feed.Chain.Height(), frozen))
+}
+
+// anchor reads the shard's current post-apply anchor. Root is cached on the
+// live set, so the view clone that usually follows shares the one rebuild.
+func (st *shardState) anchor() (root merkle.Hash, count int, height uint64) {
+	set := st.feed.DO.Set()
+	return set.Root(), set.Len(), st.feed.Chain.Height()
+}
+
+// commitBatch records an applied batch in the replication log (when
+// replicating) and publishes the shard's new read view. ops is the batch as
+// executed; seq is the shard's post-apply batch count.
+func (w *worker) commitBatch(st *shardState, ops []core.Op) {
+	if st.repl != nil {
+		root, count, height := st.anchor()
+		st.repl.append(repl.Entry{Seq: uint64(st.batches), Ops: ops, Root: root, Count: count, Height: height})
+	}
+	w.publishView(st)
 }
 
 // mailboxDepth buffers sub-batch sends so a scatter never stalls on one busy
@@ -202,9 +256,15 @@ func (w *worker) loop(st *shardState, record bool) {
 			if st.persist != nil {
 				// Drain-then-flush: a final snapshot makes the next
 				// open replay-free; the WAL already holds everything,
-				// so a failure here costs recovery time, not data.
-				if serr := st.persist.snapshot(st); err == nil {
-					err = serr
+				// so a failure here costs recovery time, not data. A
+				// diverged shard must NOT snapshot: its in-memory state
+				// holds the refused fork, while its durable log was
+				// rolled back to the verified prefix — recovery from
+				// the log is exactly the state we want back.
+				if st.diverged == nil {
+					if serr := st.persist.snapshot(st); err == nil {
+						err = serr
+					}
 				}
 				if cerr := st.persist.db.Close(); err == nil {
 					err = cerr
@@ -233,10 +293,25 @@ func (w *worker) loop(st *shardState, record bool) {
 				}
 				stat.Persist = &ps
 			}
+			if st.diverged != nil {
+				stat.Diverged = st.diverged.Error()
+			}
 			req.resp <- response{stat: stat}
+		case reqRepl:
+			req.resp <- response{err: w.applyReplicated(st, req.entry, record)}
+		case reqReplSnap:
+			snap, err := w.replSnapshot(st)
+			req.resp <- response{snap: snap, err: err}
+		case reqReplReset:
+			req.resp <- response{err: w.resetReplicated(st, req.snap)}
 		case reqSnapshot:
 			if st.persist == nil {
 				req.resp <- response{err: ErrNotPersistent}
+				continue
+			}
+			if st.diverged != nil {
+				// Snapshotting would durably adopt the refused fork.
+				req.resp <- response{err: st.diverged}
 				continue
 			}
 			err := st.persistErr
@@ -257,6 +332,13 @@ func (w *worker) loop(st *shardState, record bool) {
 			copy(rs, st.traceRes)
 			req.resp <- response{trace: tr, traceRes: rs}
 		default:
+			if st.diverged != nil {
+				// The shard is halted on a refused fork: accepting new
+				// writes (or letting an auto-snapshot run) would build
+				// on — and eventually persist — unverified state.
+				req.resp <- response{err: st.diverged}
+				continue
+			}
 			if st.persist != nil {
 				// Log-then-apply: the batch is durable before it
 				// executes, so recovery replays exactly the logged
@@ -280,10 +362,127 @@ func (w *worker) loop(st *shardState, record bool) {
 			}
 			// Publish before acking so a client that saw its batch
 			// complete reads its own writes from the next view.
-			w.publishView(st)
+			w.commitBatch(st, req.ops)
 			req.resp <- response{results: results}
 		}
 	}
+}
+
+// applyReplicated replays one shipped batch through the same log-then-apply
+// path client batches take, then verifies the post-apply state against the
+// leader's anchor. On a mismatch the batch is rolled back out of the durable
+// log (it must not replay into recovered state), the shard halts replication
+// permanently, and the previously published view keeps serving — the shard
+// refuses to fork rather than serving unverified state. (A crash between
+// the log append and the rollback can leave the refused batch durable; the
+// next replicated apply after recovery re-detects the divergence.)
+func (w *worker) applyReplicated(st *shardState, e *repl.Entry, record bool) error {
+	if st.repl == nil {
+		return ErrNotReplicating
+	}
+	if st.diverged != nil {
+		return st.diverged
+	}
+	if want := uint64(st.batches) + 1; e.Seq != want {
+		return fmt.Errorf("%w: shard %d expects seq %d, got %d", repl.ErrSeqGap, w.idx, want, e.Seq)
+	}
+	if st.persist != nil {
+		if err := st.persist.appendBatch(e.Ops); err != nil {
+			return err
+		}
+	}
+	results := core.ApplyOps(st.feed, e.Ops)
+	st.ops += len(e.Ops)
+	st.batches++
+	if record {
+		st.trace = append(st.trace, e.Ops...)
+		st.traceRes = append(st.traceRes, results...)
+	}
+	root, count, _ := st.anchor()
+	if root != e.Root || count != e.Count {
+		div := &repl.DivergenceError{
+			Shard: w.idx, Seq: e.Seq,
+			WantRoot: e.Root, GotRoot: root,
+			WantCount: e.Count, GotCount: count,
+		}
+		st.diverged = div
+		if st.persist != nil {
+			if rerr := st.persist.rollbackBatch(e.Seq); rerr != nil {
+				st.persistErr = rerr
+			}
+		}
+		return div
+	}
+	st.repl.append(*e)
+	if st.persist != nil {
+		if serr := st.persist.maybeSnapshot(st); serr != nil {
+			st.persistErr = serr
+		}
+	}
+	w.publishView(st)
+	return nil
+}
+
+// replSnapshot captures a consistent bootstrap snapshot of the shard at its
+// current sequence. A diverged shard refuses: exporting its in-memory state
+// would hand the refused fork to chained followers.
+func (w *worker) replSnapshot(st *shardState) (*repl.Snapshot, error) {
+	if st.repl == nil {
+		return nil, ErrNotReplicating
+	}
+	if st.diverged != nil {
+		return nil, st.diverged
+	}
+	fs, err := st.feed.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	root, count, height := st.anchor()
+	return &repl.Snapshot{
+		Shard: w.idx, Seq: uint64(st.batches),
+		Root: root, Count: count, Height: height,
+		Feed: fs, Ops: st.ops, BaseGas: st.base,
+	}, nil
+}
+
+// resetReplicated installs a bootstrap snapshot wholesale: the restored feed
+// must hash to the snapshot's advertised anchor before it replaces the
+// shard's state (verified catch-up — a corrupt or lying snapshot is refused
+// and the current state stays). On success the shard's counters, replication
+// log and durable store all restart from the snapshot's sequence.
+func (w *worker) resetReplicated(st *shardState, snap *repl.Snapshot) error {
+	if st.repl == nil {
+		return ErrNotReplicating
+	}
+	if w.restore == nil {
+		return fmt.Errorf("shard: shard %d has no Restore callback for replication bootstrap", w.idx)
+	}
+	feed, err := w.restore(w.idx, snap.Feed)
+	if err != nil {
+		return fmt.Errorf("shard: restore bootstrap snapshot: %w", err)
+	}
+	set := feed.DO.Set()
+	if root, count := set.Root(), set.Len(); root != snap.Root || count != snap.Count {
+		return &repl.DivergenceError{
+			Shard: w.idx, Seq: snap.Seq,
+			WantRoot: snap.Root, GotRoot: root,
+			WantCount: snap.Count, GotCount: count,
+		}
+	}
+	st.feed = feed
+	st.ops = snap.Ops
+	st.batches = int(snap.Seq)
+	st.base = snap.BaseGas
+	st.trace, st.traceRes = nil, nil // earlier history was superseded wholesale
+	st.diverged = nil
+	st.repl.reset(snap.Seq)
+	if st.persist != nil {
+		if err := st.persist.resetTo(st, snap.Seq); err != nil {
+			st.persistErr = err
+		}
+	}
+	w.publishView(st)
+	return nil
 }
 
 // ShardedFeed partitions one logical feed across N shard workers. All
@@ -296,6 +495,10 @@ type ShardedFeed struct {
 	// engine serves the authenticated read path (nil unless
 	// Options.Views).
 	engine *query.Engine
+	// replLogs holds each shard's replication log (entries nil unless
+	// Options.Repl), index-aligned with workers. The logs stay readable
+	// after Close, like the engine views.
+	replLogs []*replLog
 }
 
 // Engine returns the feed's snapshot-isolated query engine, or nil when the
@@ -314,9 +517,13 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 	if n < 1 {
 		n = 1
 	}
-	s := &ShardedFeed{workers: make([]*worker, n)}
+	s := &ShardedFeed{workers: make([]*worker, n), replLogs: make([]*replLog, n)}
 	if opts.Views {
 		s.engine = query.NewEngine(n)
+	}
+	restore := opts.Restore
+	if restore == nil && opts.Persist != nil {
+		restore = opts.Persist.Restore
 	}
 	for i := 0; i < n; i++ {
 		st, err := newShardState(opts, i, build)
@@ -326,7 +533,8 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 			}
 			return nil, err
 		}
-		w := &worker{idx: i, mail: make(chan request, mailboxDepth), done: make(chan struct{}), views: s.engine}
+		s.replLogs[i] = st.repl
+		w := &worker{idx: i, mail: make(chan request, mailboxDepth), done: make(chan struct{}), views: s.engine, restore: restore}
 		s.workers[i] = w
 		// Initial view: reads (including absence proofs over the empty
 		// set, and recovered state after a restart) work before the
@@ -338,14 +546,20 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 }
 
 // newShardState prepares one shard before its worker starts: fresh build in
-// the in-memory case, open-store-and-recover in the persistent case.
+// the in-memory case, open-store-and-recover in the persistent case. With
+// replication enabled the shard's replication log starts at the recovered
+// sequence (recovery re-anchors every replayed batch into it).
 func newShardState(opts Options, idx int, build func(int) (*core.Feed, error)) (*shardState, error) {
 	if opts.Persist == nil {
 		f, err := build(idx)
 		if err != nil {
 			return nil, err
 		}
-		return &shardState{feed: f, base: f.FeedGas()}, nil
+		st := &shardState{feed: f, base: f.FeedGas()}
+		if opts.Repl {
+			st.repl = newReplLog(opts.ReplRetain)
+		}
+		return st, nil
 	}
 	p, err := openPersister(*opts.Persist, idx)
 	if err != nil {
