@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test race vet fmt-check bench-smoke docs-check check clean
+.PHONY: all build test race vet fmt-check bench-smoke fuzz-smoke docs-check check clean
 
 all: check
 
@@ -32,6 +32,13 @@ fmt-check:
 # covered by TestRegistryGolden under `make race`.
 bench-smoke:
 	$(GO) run ./cmd/grubbench -all -scale 0.05 -json BENCH_smoke.json
+
+# Bounded fuzz pass over the persistent ADS: random op streams checked
+# against a map model with proof verification at every step. Short enough
+# for CI; run with a bigger FUZZTIME locally to dig.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test ./internal/ads -run '^$$' -fuzz FuzzSetOps -fuzztime $(FUZZTIME)
 
 # Docs gate: relative markdown links in README.md and docs/ must resolve,
 # and docs/API.md must document every route registered on the gateway mux.

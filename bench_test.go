@@ -76,3 +76,7 @@ func BenchmarkPersistExperiment(b *testing.B) { runExperiment(b, "persist") }
 // BenchmarkReplExperiment runs the replication experiment: follower
 // catch-up throughput and verified-read scale-out across followers.
 func BenchmarkReplExperiment(b *testing.B) { runExperiment(b, "repl") }
+
+// BenchmarkPublishExperiment runs the view-publication scaling microbench:
+// per-batch publish cost at 1k vs 100k records must stay within 2x.
+func BenchmarkPublishExperiment(b *testing.B) { runExperiment(b, "publish") }

@@ -7,6 +7,12 @@
 // file; `make bench-smoke` uses this to produce BENCH_smoke.json and the CI
 // uploads it as an artifact, so the perf trajectory is tracked per PR.
 //
+// Timing discipline: each experiment runs -warmup discarded warmup
+// iterations (JIT-warm caches, page-faulted working set), then is measured
+// repeatedly until the cumulative measured time reaches -min-time or -max-runs
+// is hit. The JSON carries per-metric mean, standard deviation and variance
+// across the measured runs, so a regression is distinguishable from noise.
+//
 // Usage:
 //
 //	grubbench -list
@@ -18,6 +24,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"time"
 
@@ -31,19 +39,98 @@ func main() {
 	}
 }
 
-// expReport is one experiment's entry in the -json output.
+// metricStat summarizes one metric across the measured runs.
+type metricStat struct {
+	Mean     float64 `json:"mean"`
+	StdDev   float64 `json:"stddev"`
+	Variance float64 `json:"variance"`
+}
+
+// expReport is one experiment's entry in the -json output. Metrics holds the
+// per-metric means (the shape older tooling reads); MetricStats adds the
+// spread.
 type expReport struct {
-	ID         string             `json:"id"`
-	Title      string             `json:"title"`
-	ElapsedSec float64            `json:"elapsedSec"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	ID            string                `json:"id"`
+	Title         string                `json:"title"`
+	Runs          int                   `json:"runs"`
+	ElapsedSec    float64               `json:"elapsedSec"` // mean per run
+	ElapsedStdDev float64               `json:"elapsedStdDevSec"`
+	Metrics       map[string]float64    `json:"metrics,omitempty"`
+	MetricStats   map[string]metricStat `json:"metricStats,omitempty"`
 }
 
 // benchReport is the -json file shape.
 type benchReport struct {
 	Scale       float64     `json:"scale"`
 	Seed        uint64      `json:"seed"`
+	Warmup      int         `json:"warmup"`
 	Experiments []expReport `json:"experiments"`
+}
+
+// stats folds a sample set into (mean, stddev, variance). The variance is
+// the population variance of the observed runs.
+func stats(xs []float64) metricStat {
+	if len(xs) == 0 {
+		return metricStat{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	variance := sq / float64(len(xs))
+	return metricStat{Mean: mean, StdDev: math.Sqrt(variance), Variance: variance}
+}
+
+// measure runs one experiment with warmup iterations and a minimum
+// cumulative measurement duration, collecting per-run metric samples. Only
+// the first measured run writes the report to w (the runs are identical
+// modulo timing).
+func measure(e bench.Experiment, w io.Writer, scale float64, seed uint64, warmup int, minTime time.Duration, maxRuns int) (expReport, error) {
+	rep := expReport{ID: e.ID, Title: e.Title}
+	for i := 0; i < warmup; i++ {
+		if err := e.Run(bench.Config{W: io.Discard, Scale: scale, Seed: seed}); err != nil {
+			return rep, err
+		}
+	}
+	samples := map[string][]float64{}
+	var elapsed []float64
+	var total time.Duration
+	for run := 0; run < maxRuns && (run == 0 || total < minTime); run++ {
+		out := io.Discard
+		if run == 0 {
+			out = w
+		}
+		cfg := bench.Config{
+			W: out, Scale: scale, Seed: seed,
+			Metric: func(name string, v float64) { samples[name] = append(samples[name], v) },
+		}
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			return rep, err
+		}
+		d := time.Since(start)
+		total += d
+		elapsed = append(elapsed, d.Seconds())
+	}
+	rep.Runs = len(elapsed)
+	es := stats(elapsed)
+	rep.ElapsedSec, rep.ElapsedStdDev = es.Mean, es.StdDev
+	if len(samples) > 0 {
+		rep.Metrics = map[string]float64{}
+		rep.MetricStats = map[string]metricStat{}
+		for name, xs := range samples {
+			s := stats(xs)
+			rep.Metrics[name] = s.Mean
+			rep.MetricStats[name] = s
+		}
+	}
+	return rep, nil
 }
 
 func run(args []string) error {
@@ -53,6 +140,9 @@ func run(args []string) error {
 	all := fs.Bool("all", false, "run every experiment")
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper scale)")
 	seed := fs.Uint64("seed", 42, "trace seed")
+	warmup := fs.Int("warmup", 1, "discarded warmup iterations per experiment")
+	minTime := fs.Duration("min-time", 200*time.Millisecond, "minimum cumulative measured time per experiment")
+	maxRuns := fs.Int("max-runs", 5, "maximum measured runs per experiment")
 	jsonPath := fs.String("json", "", "also write per-experiment metrics JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +152,12 @@ func run(args []string) error {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+	if *warmup < 0 {
+		*warmup = 0
+	}
+	if *maxRuns < 1 {
+		*maxRuns = 1
 	}
 
 	var exps []bench.Experiment
@@ -78,22 +174,15 @@ func run(args []string) error {
 		return fmt.Errorf("nothing to do: pass -list, -run <id> or -all")
 	}
 
-	report := benchReport{Scale: *scale, Seed: *seed}
+	report := benchReport{Scale: *scale, Seed: *seed, Warmup: *warmup}
 	for _, e := range exps {
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		rep := expReport{ID: e.ID, Title: e.Title, Metrics: map[string]float64{}}
-		cfg := bench.Config{
-			W: os.Stdout, Scale: *scale, Seed: *seed,
-			Metric: func(name string, v float64) { rep.Metrics[name] = v },
-		}
-		start := time.Now()
-		if err := e.Run(cfg); err != nil {
+		rep, err := measure(e, os.Stdout, *scale, *seed, *warmup, *minTime, *maxRuns)
+		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		elapsed := time.Since(start)
-		rep.ElapsedSec = elapsed.Seconds()
 		report.Experiments = append(report.Experiments, rep)
-		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		fmt.Printf("(%s: %d runs, %.3fs ± %.3fs per run)\n\n", e.ID, rep.Runs, rep.ElapsedSec, rep.ElapsedStdDev)
 	}
 
 	if *jsonPath != "" {

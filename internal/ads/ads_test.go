@@ -190,25 +190,27 @@ func TestRangeNR(t *testing.T) {
 		s.Put(rec(fmt.Sprintf("k%02d", i), st, "v"))
 	}
 	root := s.Root()
-	recs, p, err := s.RangeNR("k03", "k10")
+	nr, err := s.ProveRangeNR("k03", "k10")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// NR keys in [k03,k10]: all except k04, k08 (R): k03,k05,k06,k07,k09,k10.
 	want := []string{"k03", "k05", "k06", "k07", "k09", "k10"}
-	if len(recs) != len(want) {
-		t.Fatalf("RangeNR returned %d records, want %d", len(recs), len(want))
+	if len(nr.Records) != len(want) {
+		t.Fatalf("ProveRangeNR returned %d records, want %d", len(nr.Records), len(want))
 	}
 	for i, w := range want {
-		if recs[i].Key != w {
-			t.Fatalf("recs[%d] = %s, want %s", i, recs[i].Key, w)
+		if nr.Records[i].Key != w {
+			t.Fatalf("records[%d] = %s, want %s", i, nr.Records[i].Key, w)
 		}
 	}
-	if err := VerifyRecords(root, recs, p); err != nil {
-		t.Fatalf("VerifyRecords: %v", err)
+	if err := VerifyRangeNRAt(root, s.Len(), "k03", "k10", nr); err != nil {
+		t.Fatalf("VerifyRangeNRAt: %v", err)
 	}
 	// Omission attack: drop one record.
-	if err := VerifyRecords(root, recs[1:], p); !errors.Is(err, merkle.ErrInvalidProof) {
+	cut := *nr
+	cut.Records = cut.Records[1:]
+	if err := VerifyRangeNRAt(root, s.Len(), "k03", "k10", &cut); !errors.Is(err, merkle.ErrInvalidProof) {
 		t.Fatal("omission accepted")
 	}
 }
@@ -217,14 +219,14 @@ func TestRangeNREmpty(t *testing.T) {
 	s := NewSet()
 	s.Put(rec("a", R, "1"))
 	root := s.Root()
-	recs, p, err := s.RangeNR("a", "z")
+	nr, err := s.ProveRangeNR("a", "z")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 0 {
-		t.Fatalf("expected empty NR range, got %d", len(recs))
+	if len(nr.Records) != 0 {
+		t.Fatalf("expected empty NR range, got %d", len(nr.Records))
 	}
-	if err := VerifyRecords(root, recs, p); err != nil {
+	if err := VerifyRangeNRAt(root, s.Len(), "a", "z", nr); err != nil {
 		t.Fatalf("empty range proof: %v", err)
 	}
 }
@@ -256,19 +258,42 @@ func TestAbsenceProof(t *testing.T) {
 	}
 }
 
-func TestCapacityGrowsAndRootChanges(t *testing.T) {
+func TestRootChangesAsSetGrows(t *testing.T) {
 	s := NewSet()
-	for i := 0; i < 5; i++ {
+	seen := map[merkle.Hash]bool{s.Root(): true}
+	for i := 0; i < 9; i++ {
 		s.Put(rec(fmt.Sprintf("k%d", i), NR, "v"))
+		root := s.Root()
+		if seen[root] {
+			t.Fatalf("root repeated after insert %d", i)
+		}
+		seen[root] = true
 	}
-	if got := s.Capacity(); got != 8 {
-		t.Fatalf("Capacity = %d, want 8", got)
+}
+
+// TestCloneIsStableSnapshot pins the copy-on-write contract publishView
+// relies on: a clone is O(1), keeps its root and contents while the original
+// mutates, and many clones coexist.
+func TestCloneIsStableSnapshot(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 50; i++ {
+		s.Put(rec(fmt.Sprintf("k%02d", i), NR, "v"))
 	}
-	for i := 5; i < 9; i++ {
-		s.Put(rec(fmt.Sprintf("k%d", i), NR, "v"))
+	frozen := s.Clone()
+	root, count := frozen.Root(), frozen.Len()
+	s.Put(rec("k00", NR, "changed"))
+	s.Delete("k17")
+	s.SetState("k31", R)
+	if frozen.Root() != root || frozen.Len() != count {
+		t.Fatal("clone changed under mutation of the original")
 	}
-	if got := s.Capacity(); got != 16 {
-		t.Fatalf("Capacity = %d, want 16", got)
+	got, ok := frozen.Get("k00")
+	if !ok || string(got.Value) != "v" {
+		t.Fatalf("clone sees the original's later write: %+v", got)
+	}
+	r, p, err := frozen.ProveKey("k17")
+	if err != nil || VerifyRecord(root, r, p) != nil {
+		t.Fatalf("clone cannot prove a record deleted later: %v", err)
 	}
 }
 
@@ -331,11 +356,11 @@ func TestSetProofProperty(t *testing.T) {
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		recs, rp, err := s.RangeNR(lo, hi)
+		nr, err := s.ProveRangeNR(lo, hi)
 		if err != nil {
 			return false
 		}
-		return VerifyRecords(root, recs, rp) == nil
+		return VerifyRangeNRAt(root, s.Len(), lo, hi, nr) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

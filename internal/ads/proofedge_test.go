@@ -80,8 +80,8 @@ func TestProveAbsentPastBothEnds(t *testing.T) {
 			t.Fatalf("VerifyAbsentAt(%q): %v", key, err)
 		}
 	}
-	// Lying about the count must be caught: the proof's LeafCount is
-	// pinned to the padded capacity of the real count.
+	// Lying about the count must be caught: the digest commits the record
+	// count, so a proof for the real tree cannot speak for any other count.
 	p, err := s.ProveAbsent("z")
 	if err != nil {
 		t.Fatal(err)
@@ -126,19 +126,7 @@ func TestRangeNREdgeCases(t *testing.T) {
 			root := tc.set.Root()
 			count := tc.set.Len()
 
-			// Legacy plain span (still the SP-internal shape).
-			recs, rp, err := tc.set.RangeNR(tc.lo, tc.hi)
-			if err != nil {
-				t.Fatalf("RangeNR: %v", err)
-			}
-			if len(recs) != tc.want {
-				t.Fatalf("RangeNR returned %d records, want %d", len(recs), tc.want)
-			}
-			if err := VerifyRecords(root, recs, rp); err != nil {
-				t.Fatalf("VerifyRecords: %v", err)
-			}
-
-			// Boundary-anchored completeness proof (the light-client
+			// Count-anchored completeness proof (the light-client
 			// shape).
 			nr, err := tc.set.ProveRangeNR(tc.lo, tc.hi)
 			if err != nil {

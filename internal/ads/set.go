@@ -1,642 +1,401 @@
 package ads
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"grub/internal/merkle"
 )
 
-// paddingLeaf fills unused leaf slots of the complete tree. Its preimage
-// starts with 0xFF, which no record encoding can produce (record encodings
-// start with a state byte of 0 or 1), so padding can never be presented as a
-// record.
-var paddingLeaf = merkle.HashLeaf([]byte{0xff, 'p', 'a', 'd'})
-
-// Set is an authenticated, (state,key)-ordered set of records with a cached
-// complete Merkle tree: point updates are O(log n); insertions, deletions and
-// relocations mark the tree dirty and trigger a lazy O(n) rebuild on the next
-// proof or root request (so bursts of structural changes between proofs
-// coalesce into one rebuild).
+// Set is an authenticated, (state,key)-ordered set of records backed by a
+// copy-on-write persistent Merkle search tree: every mutation path-copies the
+// O(log n) nodes from the changed position to the root and leaves all other
+// nodes shared with previous versions. Consequences the rest of the system
+// builds on:
+//
+//   - Root maintenance is O(log n) per op; there is no deferred rebuild, so
+//     Root() is always just a cached-hash read.
+//   - Clone() is O(1): it captures the current root pointer. The frozen
+//     copy the query views are built from costs nothing regardless of the
+//     record count, and any number of historical views share structure.
+//   - Reads never mutate (no lazy caches), so a frozen Set is trivially safe
+//     for concurrent readers.
+//
+// The tree is a treap over the (state, key) order with priorities derived
+// from a hash of (state, key). Priorities are a deterministic function of the
+// key set, so the shape — and therefore the digest — is history-independent:
+// any insertion order, including snapshot-restore replay and the SP's
+// kvstore reload, reproduces the identical root. (The usual treap caveat
+// applies: because the digest must be reproducible by DO and SP alike, the
+// priorities cannot be secret, and a workload crafting keys against the hash
+// could unbalance the tree. Expected depth for benign keys is O(log n).)
+//
+// Each node hashes as
+//
+//	H(n) = HashInner(HashInner(H(left), leaf(rec)), H(right))
+//
+// with H(nil) = merkle.EmptyRoot(), and the set digest commits the record
+// count on top: Root = HashInner(CountLeaf(n), H(root node)). The nested
+// HashInner layout makes a membership proof a plain merkle.Proof hash fold
+// (2 path nodes where the walk descends left, 1 where it descends right,
+// plus the final count step), so the contract's deliver verification and
+// its gas metering are unchanged from the complete-tree era. Absence and
+// range completeness use pruned-subtree proofs instead (see prooftree.go).
 //
 // Set is used by the SP (with values) to serve proofs and by the DO to
 // maintain the digest it signs on-chain. Both sides compute identical roots
 // by construction.
 type Set struct {
-	recs   []Record
-	leaves []merkle.Hash // cached leaf hashes, parallel to recs
-	nodes  []merkle.Hash // complete binary tree; nodes[capacity+i] is leaf i
-	cap    int           // leaf capacity, power of two, >= len(recs)
-	dirty  bool
+	root *node
+}
+
+// node is one immutable tree node. Nodes are shared freely across Set
+// versions and must never be mutated after construction.
+type node struct {
+	rec         Record
+	prio        uint64
+	left, right *node
+	size        int
+	hash        merkle.Hash
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func hashOf(n *node) merkle.Hash {
+	if n == nil {
+		return merkle.EmptyRoot()
+	}
+	return n.hash
+}
+
+// mk builds a fresh immutable node over already-immutable children.
+func mk(rec Record, prio uint64, left, right *node) *node {
+	return &node{
+		rec:  rec,
+		prio: prio,
+		left: left, right: right,
+		size: size(left) + 1 + size(right),
+		hash: merkle.HashInner(merkle.HashInner(hashOf(left), rec.Leaf()), hashOf(right)),
+	}
+}
+
+// prioOf derives a node's treap priority from its (state, key) identity —
+// never from the value, so value updates keep the shape.
+func prioOf(st State, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte{0xf0, byte(st)})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// higher is the strict total heap order on nodes: priority first, (state,
+// key) order as the tiebreak. A total order (not just the 64-bit priority)
+// is what makes the treap shape canonical.
+func higher(a, b *node) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return less(a.rec.State, a.rec.Key, b.rec.State, b.rec.Key)
+}
+
+// insert path-copies rec into the subtree, replacing the value if (state,
+// key) already exists. rec.Value must already be owned by the set.
+func insert(n *node, rec Record) *node {
+	if n == nil {
+		return mk(rec, prioOf(rec.State, rec.Key), nil, nil)
+	}
+	switch {
+	case less(rec.State, rec.Key, n.rec.State, n.rec.Key):
+		l := insert(n.left, rec)
+		if higher(l, n) {
+			// Rotate right: the inserted node bubbles up.
+			return mk(l.rec, l.prio, l.left, mk(n.rec, n.prio, l.right, n.right))
+		}
+		return mk(n.rec, n.prio, l, n.right)
+	case less(n.rec.State, n.rec.Key, rec.State, rec.Key):
+		r := insert(n.right, rec)
+		if higher(r, n) {
+			return mk(r.rec, r.prio, mk(n.rec, n.prio, n.left, r.left), r.right)
+		}
+		return mk(n.rec, n.prio, n.left, r)
+	default:
+		return mk(rec, n.prio, n.left, n.right)
+	}
+}
+
+// del path-copies the subtree with (st, key) removed; the removed node's
+// subtrees are merged by priority, keeping the canonical shape.
+func del(n *node, st State, key string) *node {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case less(st, key, n.rec.State, n.rec.Key):
+		return mk(n.rec, n.prio, del(n.left, st, key), n.right)
+	case less(n.rec.State, n.rec.Key, st, key):
+		return mk(n.rec, n.prio, n.left, del(n.right, st, key))
+	default:
+		return merge(n.left, n.right)
+	}
+}
+
+// merge joins two treaps where every record in a orders before every record
+// in b.
+func merge(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if higher(a, b) {
+		return mk(a.rec, a.prio, a.left, merge(a.right, b))
+	}
+	return mk(b.rec, b.prio, merge(a, b.left), b.right)
+}
+
+// lookup descends to (st, key), also computing the record's in-order rank.
+func lookup(n *node, st State, key string) (*node, int, bool) {
+	rank := 0
+	for n != nil {
+		switch {
+		case less(st, key, n.rec.State, n.rec.Key):
+			n = n.left
+		case less(n.rec.State, n.rec.Key, st, key):
+			rank += size(n.left) + 1
+			n = n.right
+		default:
+			return n, rank + size(n.left), true
+		}
+	}
+	return nil, 0, false
 }
 
 // NewSet returns an empty set.
-func NewSet() *Set { return &Set{dirty: true} }
+func NewSet() *Set { return &Set{} }
 
 // Len returns the number of records.
-func (s *Set) Len() int { return len(s.recs) }
+func (s *Set) Len() int { return size(s.root) }
 
-// pos returns the index at which a record with (state, key) sorts, and
-// whether an exact (state, key) match exists there.
-func (s *Set) pos(state State, key string) (int, bool) {
-	i := sort.Search(len(s.recs), func(i int) bool {
-		r := s.recs[i]
-		return !less(r.State, r.Key, state, key)
-	})
-	if i < len(s.recs) && s.recs[i].State == state && s.recs[i].Key == key {
-		return i, true
+// find locates key regardless of state, returning its node and in-order
+// rank.
+func (s *Set) find(key string) (*node, int, bool) {
+	if n, rank, ok := lookup(s.root, NR, key); ok {
+		return n, rank, true
 	}
-	return i, false
-}
-
-// find locates key regardless of state.
-func (s *Set) find(key string) (int, bool) {
-	if i, ok := s.pos(NR, key); ok {
-		return i, true
+	if n, rank, ok := lookup(s.root, R, key); ok {
+		return n, rank, true
 	}
-	if i, ok := s.pos(R, key); ok {
-		return i, true
-	}
-	return -1, false
+	return nil, 0, false
 }
 
 // Get returns the record stored under key.
 func (s *Set) Get(key string) (Record, bool) {
-	i, ok := s.find(key)
+	n, _, ok := s.find(key)
 	if !ok {
 		return Record{}, false
 	}
-	return s.recs[i], true
+	return n.rec, true
 }
 
-// Records returns a copy of all records in (state, key) order.
+// Records returns all records in (state, key) order.
 func (s *Set) Records() []Record {
-	out := make([]Record, len(s.recs))
-	copy(out, s.recs)
+	out := make([]Record, 0, s.Len())
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.rec)
+		walk(n.right)
+	}
+	walk(s.root)
 	return out
 }
 
 // Put inserts or updates key with the given value and state. If the record
-// exists with a different state it is relocated to its new group (a
-// structural change). It returns the previous state and whether the key
-// already existed.
+// exists with a different state it is relocated to its new group. It returns
+// the previous state and whether the key already existed.
 func (s *Set) Put(rec Record) (prev State, existed bool) {
-	if i, ok := s.find(rec.Key); ok {
-		prev = s.recs[i].State
-		if prev == rec.State {
-			// In-place value update: cheap cached-path refresh.
-			s.recs[i].Value = append([]byte(nil), rec.Value...)
-			s.leaves[i] = s.recs[i].Leaf()
-			s.refreshLeaf(i)
-			return prev, true
+	rec.Value = append([]byte(nil), rec.Value...)
+	if n, _, ok := s.find(rec.Key); ok {
+		prev = n.rec.State
+		if prev != rec.State {
+			s.root = del(s.root, prev, rec.Key)
 		}
-		// Relocation: remove from the old group, insert in the new.
-		s.removeAt(i)
-		j, _ := s.pos(rec.State, rec.Key)
-		s.insertAt(j, rec)
+		s.root = insert(s.root, rec)
 		return prev, true
 	}
-	j, _ := s.pos(rec.State, rec.Key)
-	s.insertAt(j, rec)
+	s.root = insert(s.root, rec)
 	return 0, false
-}
-
-func (s *Set) insertAt(i int, rec Record) {
-	rec.Value = append([]byte(nil), rec.Value...)
-	s.recs = append(s.recs, Record{})
-	copy(s.recs[i+1:], s.recs[i:])
-	s.recs[i] = rec
-	s.leaves = append(s.leaves, merkle.Hash{})
-	copy(s.leaves[i+1:], s.leaves[i:])
-	s.leaves[i] = rec.Leaf()
-	s.dirty = true
-}
-
-func (s *Set) removeAt(i int) {
-	s.recs = append(s.recs[:i], s.recs[i+1:]...)
-	s.leaves = append(s.leaves[:i], s.leaves[i+1:]...)
-	s.dirty = true
 }
 
 // Delete removes key from the set, reporting whether it existed.
 func (s *Set) Delete(key string) bool {
-	i, ok := s.find(key)
+	n, _, ok := s.find(key)
 	if !ok {
 		return false
 	}
-	s.removeAt(i)
+	s.root = del(s.root, n.rec.State, key)
 	return true
 }
 
 // SetState changes the replication state of key, relocating the record. It
 // reports whether the key existed (and needed a change).
 func (s *Set) SetState(key string, state State) bool {
-	i, ok := s.find(key)
+	n, _, ok := s.find(key)
 	if !ok {
 		return false
 	}
-	if s.recs[i].State == state {
+	if n.rec.State == state {
 		return true
 	}
-	rec := s.recs[i]
+	rec := n.rec
 	rec.State = state
-	s.removeAt(i)
-	j, _ := s.pos(state, key)
-	s.insertAt(j, rec)
+	s.root = del(s.root, n.rec.State, key)
+	s.root = insert(s.root, rec)
 	return true
 }
 
-// refreshLeaf updates the cached tree for an in-place leaf change.
-func (s *Set) refreshLeaf(i int) {
-	if s.dirty || s.nodes == nil {
-		s.dirty = true
-		return
-	}
-	idx := s.cap + i
-	s.nodes[idx] = s.leaves[i]
-	for idx > 1 {
-		idx /= 2
-		s.nodes[idx] = merkle.HashInner(s.nodes[2*idx], s.nodes[2*idx+1])
-	}
+// CountLeaf is the digest's record-count commitment: the set root is
+// HashInner(CountLeaf(n), treeHash). The 0xFF-prefixed preimage is disjoint
+// from every record encoding (those start with a state byte of 0 or 1), so
+// the count leaf can never be presented as a record or vice versa. Verifiers
+// that know the record count recompute it to bind the count to the root.
+func CountLeaf(n int) merkle.Hash {
+	buf := make([]byte, 0, 14)
+	buf = append(buf, 0xff, 'c', 'n', 't')
+	buf = binary.AppendUvarint(buf, uint64(n))
+	return merkle.HashLeaf(buf)
 }
 
-// CapacityFor returns the padded leaf capacity of a set holding n records:
-// the smallest power of two >= n (minimum 1). Verifiers that know the record
-// count use it to pin the LeafCount a proof must claim.
-func CapacityFor(n int) int {
-	c := 1
-	for c < n {
-		c *= 2
-	}
-	return c
-}
-
-// Clone returns a deep copy of the set with its Merkle tree already built.
-// The clone shares nothing mutable with the receiver, so as long as no
-// mutating method (Put, Delete, SetState) is called on it, all read and
-// proof methods are safe for concurrent use from many goroutines — this is
-// what the snapshot-isolated query views are built from.
-//
-// The receiver's cached tree is (re)built if stale and then copied, so a
-// clone taken between proofs costs one memcpy of the interior nodes, not a
-// rebuild.
-func (s *Set) Clone() *Set {
-	s.ensure()
-	c := &Set{
-		recs:   make([]Record, len(s.recs)),
-		leaves: make([]merkle.Hash, len(s.recs)),
-		nodes:  make([]merkle.Hash, len(s.nodes)),
-		cap:    s.cap,
-	}
-	for i, r := range s.recs {
-		r.Value = append([]byte(nil), r.Value...)
-		c.recs[i] = r
-	}
-	copy(c.leaves, s.leaves)
-	copy(c.nodes, s.nodes)
-	return c
-}
-
-// ensure rebuilds the cached tree if needed. Leaf hashes are cached per
-// record, so a rebuild recomputes only the ~n interior nodes.
-func (s *Set) ensure() {
-	if !s.dirty && s.nodes != nil {
-		return
-	}
-	c := CapacityFor(len(s.recs))
-	if s.cap != c || s.nodes == nil {
-		s.cap = c
-		s.nodes = make([]merkle.Hash, 2*c)
-	}
-	copy(s.nodes[c:], s.leaves)
-	for i := len(s.recs); i < c; i++ {
-		s.nodes[c+i] = paddingLeaf
-	}
-	for i := c - 1; i >= 1; i-- {
-		s.nodes[i] = merkle.HashInner(s.nodes[2*i], s.nodes[2*i+1])
-	}
-	s.dirty = false
-}
-
-// Root returns the authenticated digest of the set.
+// Root returns the authenticated digest of the set: the tree hash with the
+// record count committed on top. Reading it is O(1) — node hashes are
+// maintained incrementally on every mutation.
 func (s *Set) Root() merkle.Hash {
-	s.ensure()
-	return s.nodes[1]
+	return merkle.HashInner(CountLeaf(s.Len()), hashOf(s.root))
 }
 
-// Capacity returns the padded leaf capacity (exported for proof-size
-// reasoning in tests).
-func (s *Set) Capacity() int {
-	s.ensure()
-	return s.cap
+// Clone captures the current version of the set as a frozen copy in O(1):
+// the returned Set shares every node with the receiver, and since nodes are
+// immutable and later mutations of the receiver path-copy, the clone is a
+// stable snapshot safe for concurrent use from many goroutines. This is what
+// the snapshot-isolated query views are built from — publication cost no
+// longer depends on the record count.
+func (s *Set) Clone() *Set {
+	return &Set{root: s.root}
 }
 
-// ProveIndex builds a membership proof for the record at index i.
+// ProveIndex builds a membership proof for the record at in-order index i.
+// The proof is a plain hash fold (merkle.Verify): two path nodes per level
+// where the record sits in the left subtree, one where it sits in the right,
+// and a final step folding in the count commitment.
 func (s *Set) ProveIndex(i int) (*merkle.Proof, error) {
-	if i < 0 || i >= len(s.recs) {
-		return nil, fmt.Errorf("ads: prove index %d out of range [0,%d)", i, len(s.recs))
+	if i < 0 || i >= s.Len() {
+		return nil, fmt.Errorf("ads: prove index %d out of range [0,%d)", i, s.Len())
 	}
-	s.ensure()
-	p := &merkle.Proof{Index: i, LeafCount: s.cap}
-	idx := s.cap + i
-	for idx > 1 {
-		sib := idx ^ 1
-		p.Path = append(p.Path, merkle.ProofNode{Left: sib < idx, Hash: s.nodes[sib]})
-		idx /= 2
-	}
+	p := &merkle.Proof{Index: i, LeafCount: s.Len()}
+	provePath(s.root, i, p)
+	p.Path = append(p.Path, merkle.ProofNode{Left: true, Hash: CountLeaf(s.Len())})
 	return p, nil
+}
+
+// provePath appends the fold steps authenticating the record at in-order
+// index i of subtree n, leaf-to-root. The fold invariant: after the steps
+// for a subtree, the running hash equals that subtree's node hash.
+func provePath(n *node, i int, p *merkle.Proof) {
+	ls := size(n.left)
+	switch {
+	case i < ls:
+		provePath(n.left, i, p)
+		// Running hash is H(n.left); fold in this node's record leaf and
+		// right subtree.
+		p.Path = append(p.Path,
+			merkle.ProofNode{Left: false, Hash: n.rec.Leaf()},
+			merkle.ProofNode{Left: false, Hash: hashOf(n.right)})
+	case i == ls:
+		// The record itself: running hash starts as its leaf.
+		p.Path = append(p.Path,
+			merkle.ProofNode{Left: true, Hash: hashOf(n.left)},
+			merkle.ProofNode{Left: false, Hash: hashOf(n.right)})
+	default:
+		provePath(n.right, i-ls-1, p)
+		// Running hash is H(n.right); the left-and-record half folds in as
+		// one sibling.
+		p.Path = append(p.Path,
+			merkle.ProofNode{Left: true, Hash: merkle.HashInner(hashOf(n.left), n.rec.Leaf())})
+	}
 }
 
 // ProveKey returns the record stored under key together with its membership
 // proof.
 func (s *Set) ProveKey(key string) (Record, *merkle.Proof, error) {
-	i, ok := s.find(key)
+	n, rank, ok := s.find(key)
 	if !ok {
 		return Record{}, nil, fmt.Errorf("ads: key %q not present", key)
 	}
-	p, err := s.ProveIndex(i)
+	p, err := s.ProveIndex(rank)
 	if err != nil {
 		return Record{}, nil, err
 	}
-	return s.recs[i], p, nil
+	return n.rec, p, nil
 }
 
-// RangeNR returns all NR records with lo <= key <= hi, together with a range
-// proof over their contiguous span. The proof's completeness guarantee means
-// an adversarial SP can neither omit nor inject records in the span.
-//
-// Only the NR group is served: R records live on-chain and are read there
-// (paper Appendix B.2.2).
-func (s *Set) RangeNR(lo, hi string) ([]Record, *merkle.RangeProof, error) {
-	start := sort.Search(len(s.recs), func(i int) bool {
-		r := s.recs[i]
-		return !less(r.State, r.Key, NR, lo)
-	})
-	end := start
-	for end < len(s.recs) && s.recs[end].State == NR && s.recs[end].Key <= hi {
-		end++
+// collectKeys appends to out up to limit keys of group st with key >= start,
+// in ascending key order, pruning subtrees outside the group window.
+func collectKeys(n *node, st State, start string, limit int, out []string) []string {
+	if n == nil || len(out) >= limit {
+		return out
 	}
-	p, err := s.proveRange(start, end)
-	if err != nil {
-		return nil, nil, err
+	if less(n.rec.State, n.rec.Key, st, start) {
+		// Node (and its whole left subtree) sorts below (st, start).
+		return collectKeys(n.right, st, start, limit, out)
 	}
-	out := make([]Record, end-start)
-	copy(out, s.recs[start:end])
-	return out, p, nil
-}
-
-// AbsenceProof proves that key is not in the set (in either state group) by
-// exhibiting, per group, a proven contiguous span of leaves bracketing the
-// position where (group, key) would sort. The span includes the immediate
-// neighbor on each side of that position — regardless of the neighbor's own
-// group, since the (state, key) total order makes any left neighbor sort
-// below the target and any right neighbor above it — and the verifier checks
-// that ordering.
-type AbsenceProof struct {
-	NRProof   *merkle.RangeProof `json:"nrProof"`
-	RProof    *merkle.RangeProof `json:"rProof"`
-	NRRecords []Record           `json:"nrRecords,omitempty"` // the (possibly empty) proven spans
-	RRecords  []Record           `json:"rRecords,omitempty"`
-}
-
-// Size returns the byte size for Gas accounting.
-func (p *AbsenceProof) Size() int {
-	n := 0
-	if p.NRProof != nil {
-		n += p.NRProof.Size()
+	if n.rec.State != st {
+		// Node sorts past the end of the st group.
+		return collectKeys(n.left, st, start, limit, out)
 	}
-	if p.RProof != nil {
-		n += p.RProof.Size()
+	out = collectKeys(n.left, st, start, limit, out)
+	if len(out) < limit {
+		out = append(out, n.rec.Key)
+		out = collectKeys(n.right, st, start, limit, out)
 	}
-	for _, r := range p.NRRecords {
-		n += r.Size()
-	}
-	for _, r := range p.RRecords {
-		n += r.Size()
-	}
-	return n
-}
-
-// ProveAbsent builds an absence proof for key.
-func (s *Set) ProveAbsent(key string) (*AbsenceProof, error) {
-	if _, ok := s.find(key); ok {
-		return nil, fmt.Errorf("ads: key %q is present", key)
-	}
-	out := &AbsenceProof{}
-	for _, st := range []State{NR, R} {
-		i, _ := s.pos(st, key)
-		lo, hi := i, i
-		if lo > 0 {
-			lo--
-		}
-		if hi < len(s.recs) {
-			hi++
-		}
-		p, err := s.proveRange(lo, hi)
-		if err != nil {
-			return nil, err
-		}
-		span := make([]Record, hi-lo)
-		copy(span, s.recs[lo:hi])
-		switch st {
-		case NR:
-			out.NRProof, out.NRRecords = p, span
-		case R:
-			out.RProof, out.RRecords = p, span
-		}
-	}
-	return out, nil
-}
-
-// spanBrackets checks that a proven contiguous span of records establishes
-// that no record with (st, key) exists in the tree committed to by root:
-// the span's leaves verify, its records are strictly (state, key)-ordered,
-// none of them is (st, key), and the span brackets the position where
-// (st, key) would sort — a record below the target precedes it unless the
-// span starts at leaf 0, and a record above it follows unless the span ends
-// at the last record.
-//
-// count is the total record count in the tree, the anchor that makes the
-// right bracket checkable: without it (count < 0) a span ending before the
-// padded capacity cannot be distinguished from one ending at the last
-// record, so the right bracket is only enforced when an upper neighbor is
-// claimed. Verifiers that learn the count alongside the root (the query
-// read path) pass it and get the complete guarantee.
-func spanBrackets(root merkle.Hash, count int, st State, key string, span []Record, rp *merkle.RangeProof) error {
-	if rp == nil {
-		return fmt.Errorf("%w: nil span proof", merkle.ErrInvalidProof)
-	}
-	leaves := make([]merkle.Hash, len(span))
-	for i, r := range span {
-		leaves[i] = r.Leaf()
-	}
-	if err := merkle.VerifyRange(root, leaves, rp); err != nil {
-		return err
-	}
-	if count >= 0 {
-		if rp.LeafCount != CapacityFor(count) {
-			return fmt.Errorf("%w: leaf count %d does not match %d records", merkle.ErrInvalidProof, rp.LeafCount, count)
-		}
-		if rp.End > count {
-			return fmt.Errorf("%w: span end %d beyond %d records", merkle.ErrInvalidProof, rp.End, count)
-		}
-	}
-	for i, r := range span {
-		if r.State == st && r.Key == key {
-			return fmt.Errorf("%w: key present in absence span", merkle.ErrInvalidProof)
-		}
-		if i > 0 && !less(span[i-1].State, span[i-1].Key, r.State, r.Key) {
-			return fmt.Errorf("%w: absence span not strictly ordered", merkle.ErrInvalidProof)
-		}
-	}
-	if rp.Start > 0 {
-		if len(span) == 0 || !less(span[0].State, span[0].Key, st, key) {
-			return fmt.Errorf("%w: span does not bracket key from below", merkle.ErrInvalidProof)
-		}
-	}
-	// Bracket from above. Without the count anchor a span may legitimately
-	// stop at the last record (padding fills the rest of the capacity), so
-	// a missing upper neighbor is only rejectable when the count is known.
-	last := len(span) - 1
-	hasUpper := last >= 0 && less(st, key, span[last].State, span[last].Key)
-	if count >= 0 && rp.End < count && !hasUpper {
-		return fmt.Errorf("%w: span does not bracket key from above", merkle.ErrInvalidProof)
-	}
-	return nil
-}
-
-// VerifyAbsent checks an absence proof against root: both group spans must
-// verify, be strictly ordered and bracket the key's position. Without a
-// record count the bracket above the key cannot be enforced at the very end
-// of the record array; VerifyAbsentAt closes that gap for verifiers that
-// learn the count alongside the root.
-func VerifyAbsent(root merkle.Hash, key string, p *AbsenceProof) error {
-	return verifyAbsent(root, -1, key, p)
-}
-
-// VerifyAbsentAt is VerifyAbsent anchored to a known record count: the spans
-// must also stay within count records and bracket the key from above unless
-// they end at the last record. (root, count) together form the trust anchor
-// the query read path advertises per shard.
-func VerifyAbsentAt(root merkle.Hash, count int, key string, p *AbsenceProof) error {
-	if count < 0 {
-		return fmt.Errorf("%w: negative record count", merkle.ErrInvalidProof)
-	}
-	return verifyAbsent(root, count, key, p)
-}
-
-func verifyAbsent(root merkle.Hash, count int, key string, p *AbsenceProof) error {
-	if p == nil {
-		return fmt.Errorf("%w: nil absence proof", merkle.ErrInvalidProof)
-	}
-	if err := spanBrackets(root, count, NR, key, p.NRRecords, p.NRProof); err != nil {
-		return fmt.Errorf("NR group: %w", err)
-	}
-	if err := spanBrackets(root, count, R, key, p.RRecords, p.RProof); err != nil {
-		return fmt.Errorf("R group: %w", err)
-	}
-	return nil
-}
-
-// NRRange is a verifiable answer to "all NR records with lo <= key <= hi":
-// the in-window records plus up to one boundary record on each side, proven
-// as one contiguous leaf span. The boundary records are what make the answer
-// complete for a verifier that knows the set's record count: a span that
-// neither starts at leaf 0 nor exhibits a record below the window (resp.
-// neither ends at the last record nor exhibits one above it) is rejected, so
-// an adversarial server can neither omit nor inject records.
-type NRRange struct {
-	// Before and After are the records immediately outside the window
-	// (nil when the span reaches the corresponding edge of the record
-	// array). After may be an R record: in the (state, key) order an R
-	// record proves the NR group ended before it.
-	Before *Record `json:"before,omitempty"`
-	After  *Record `json:"after,omitempty"`
-	// Records are the NR records with lo <= key <= hi, in key order.
-	Records []Record           `json:"records,omitempty"`
-	Proof   *merkle.RangeProof `json:"proof"`
-}
-
-// Size returns the byte size for proof-transfer accounting.
-func (r *NRRange) Size() int {
-	n := 0
-	if r.Proof != nil {
-		n += r.Proof.Size()
-	}
-	if r.Before != nil {
-		n += r.Before.Size()
-	}
-	if r.After != nil {
-		n += r.After.Size()
-	}
-	for _, rec := range r.Records {
-		n += rec.Size()
-	}
-	return n
-}
-
-// ProveRangeNR builds a boundary-anchored completeness proof for the NR
-// records with lo <= key <= hi. An inverted window (hi < lo) proves the
-// empty result. Only the NR group is served: R records live on-chain and
-// are read there (paper Appendix B.2.2).
-func (s *Set) ProveRangeNR(lo, hi string) (*NRRange, error) {
-	start := sort.Search(len(s.recs), func(i int) bool {
-		r := s.recs[i]
-		return !less(r.State, r.Key, NR, lo)
-	})
-	end := start
-	for end < len(s.recs) && s.recs[end].State == NR && s.recs[end].Key <= hi {
-		end++
-	}
-	slo, shi := start, end
-	if slo > 0 {
-		slo--
-	}
-	if shi < len(s.recs) {
-		shi++
-	}
-	p, err := s.proveRange(slo, shi)
-	if err != nil {
-		return nil, err
-	}
-	out := &NRRange{Proof: p, Records: make([]Record, end-start)}
-	copy(out.Records, s.recs[start:end])
-	if slo < start {
-		before := s.recs[slo]
-		out.Before = &before
-	}
-	if shi > end {
-		after := s.recs[shi-1]
-		out.After = &after
-	}
-	return out, nil
-}
-
-// VerifyRangeNRAt checks a boundary-anchored range answer against the
-// (root, count) trust anchor: the span verifies, every returned record is an
-// NR record inside [lo, hi] in strictly ascending order, and the boundary
-// records (or the edges of the record array) prove nothing was omitted.
-func VerifyRangeNRAt(root merkle.Hash, count int, lo, hi string, r *NRRange) error {
-	if r == nil || r.Proof == nil {
-		return fmt.Errorf("%w: nil range answer", merkle.ErrInvalidProof)
-	}
-	if count < 0 {
-		return fmt.Errorf("%w: negative record count", merkle.ErrInvalidProof)
-	}
-	span := make([]Record, 0, len(r.Records)+2)
-	if r.Before != nil {
-		span = append(span, *r.Before)
-	}
-	span = append(span, r.Records...)
-	if r.After != nil {
-		span = append(span, *r.After)
-	}
-	leaves := make([]merkle.Hash, len(span))
-	for i, rec := range span {
-		leaves[i] = rec.Leaf()
-	}
-	if err := merkle.VerifyRange(root, leaves, r.Proof); err != nil {
-		return err
-	}
-	if r.Proof.LeafCount != CapacityFor(count) {
-		return fmt.Errorf("%w: leaf count %d does not match %d records", merkle.ErrInvalidProof, r.Proof.LeafCount, count)
-	}
-	if r.Proof.End > count {
-		return fmt.Errorf("%w: span end %d beyond %d records", merkle.ErrInvalidProof, r.Proof.End, count)
-	}
-	for i, rec := range span {
-		if i > 0 && !less(span[i-1].State, span[i-1].Key, rec.State, rec.Key) {
-			return fmt.Errorf("%w: range span not strictly ordered", merkle.ErrInvalidProof)
-		}
-	}
-	for _, rec := range r.Records {
-		if rec.State != NR {
-			return fmt.Errorf("%w: non-NR record in range result", merkle.ErrInvalidProof)
-		}
-		if rec.Key < lo || rec.Key > hi {
-			return fmt.Errorf("%w: record %q outside [%q,%q]", merkle.ErrInvalidProof, rec.Key, lo, hi)
-		}
-	}
-	// Completeness below the window: either the span starts at leaf 0 or
-	// the claimed Before record sorts below (NR, lo).
-	if r.Before == nil {
-		if r.Proof.Start > 0 {
-			return fmt.Errorf("%w: range span not anchored below", merkle.ErrInvalidProof)
-		}
-	} else if !less(r.Before.State, r.Before.Key, NR, lo) {
-		return fmt.Errorf("%w: before-boundary inside window", merkle.ErrInvalidProof)
-	}
-	// Completeness above: either the span ends at the last record or the
-	// claimed After record sorts above (NR, hi).
-	if r.After == nil {
-		if r.Proof.End < count {
-			return fmt.Errorf("%w: range span not anchored above", merkle.ErrInvalidProof)
-		}
-	} else if !less(NR, hi, r.After.State, r.After.Key) {
-		return fmt.Errorf("%w: after-boundary inside window", merkle.ErrInvalidProof)
-	}
-	return nil
-}
-
-// proveRange builds a RangeProof for [start, end) over the cached complete
-// tree, producing the same traversal order as merkle.VerifyRange expects.
-func (s *Set) proveRange(start, end int) (*merkle.RangeProof, error) {
-	if start < 0 || end > len(s.recs) || start > end {
-		return nil, fmt.Errorf("ads: range [%d,%d) out of bounds [0,%d]", start, end, len(s.recs))
-	}
-	s.ensure()
-	p := &merkle.RangeProof{Start: start, End: end, LeafCount: s.cap}
-	var walk func(node, lo, hi int)
-	walk = func(node, lo, hi int) {
-		if hi <= start {
-			p.Left = append(p.Left, s.nodes[node])
-			return
-		}
-		if lo >= end {
-			p.Right = append(p.Right, s.nodes[node])
-			return
-		}
-		if start <= lo && hi <= end {
-			return
-		}
-		if hi-lo == 1 {
-			if lo >= start {
-				p.Right = append(p.Right, s.nodes[node])
-			} else {
-				p.Left = append(p.Left, s.nodes[node])
-			}
-			return
-		}
-		mid := (lo + hi) / 2
-		walk(2*node, lo, mid)
-		walk(2*node+1, mid, hi)
-	}
-	walk(1, 0, s.cap)
-	return p, nil
+	return out
 }
 
 // NextKeys returns up to n keys >= start in ascending key order, merging the
 // NR and R groups (each is key-sorted internally). Used to expand scans into
 // point reads.
 func (s *Set) NextKeys(start string, n int) []string {
-	// Locate the group boundary: first R record.
-	b := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].State == R })
-	i := sort.Search(b, func(i int) bool { return s.recs[i].Key >= start })
-	j := b + sort.Search(len(s.recs)-b, func(j int) bool { return s.recs[b+j].Key >= start })
+	if n <= 0 {
+		return nil
+	}
+	nr := collectKeys(s.root, NR, start, n, nil)
+	r := collectKeys(s.root, R, start, n, nil)
 	out := make([]string, 0, n)
-	for len(out) < n && (i < b || j < len(s.recs)) {
+	i, j := 0, 0
+	for len(out) < n && (i < len(nr) || j < len(r)) {
 		switch {
-		case i >= b:
-			out = append(out, s.recs[j].Key)
+		case i >= len(nr):
+			out = append(out, r[j])
 			j++
-		case j >= len(s.recs):
-			out = append(out, s.recs[i].Key)
+		case j >= len(r):
+			out = append(out, nr[i])
 			i++
-		case s.recs[i].Key <= s.recs[j].Key:
-			out = append(out, s.recs[i].Key)
+		case nr[i] <= r[j]:
+			out = append(out, nr[i])
 			i++
 		default:
-			out = append(out, s.recs[j].Key)
+			out = append(out, r[j])
 			j++
 		}
 	}
@@ -646,13 +405,4 @@ func (s *Set) NextKeys(start string, n int) []string {
 // VerifyRecord checks a single-record membership proof against root.
 func VerifyRecord(root merkle.Hash, rec Record, p *merkle.Proof) error {
 	return merkle.Verify(root, rec.Leaf(), p)
-}
-
-// VerifyRecords checks a contiguous range of records against root.
-func VerifyRecords(root merkle.Hash, recs []Record, p *merkle.RangeProof) error {
-	leaves := make([]merkle.Hash, len(recs))
-	for i, r := range recs {
-		leaves[i] = r.Leaf()
-	}
-	return merkle.VerifyRange(root, leaves, p)
 }

@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig5", "table3", "fig6", "table6",
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
-		"gateway", "shard", "persist", "query", "repl",
+		"gateway", "shard", "persist", "query", "repl", "publish",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -198,6 +198,36 @@ func TestReplSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "catch-up") {
 		t.Errorf("repl report incomplete:\n%s", buf.String())
+	}
+}
+
+// TestPublishSmoke runs the view-publication scaling microbench and pins the
+// tentpole's acceptance bar: with the copy-on-write persistent tree, per-batch
+// publication is O(1), so the cost at 100k records must stay within 2x of the
+// cost at 1k records. (The sorted-array ADS this replaced cloned all n records
+// per publish and fails this bar by orders of magnitude.)
+func TestPublishSmoke(t *testing.T) {
+	e, err := ByID("publish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	var buf bytes.Buffer
+	cfg := Config{W: &buf, Scale: smokeScale, Seed: 7,
+		Metric: func(name string, v float64) { metrics[name] = v }}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	small, big := metrics["publish.nsPerOp.n1000"], metrics["publish.nsPerOp.n100000"]
+	if small <= 0 || big <= 0 {
+		t.Fatalf("publish cost metrics missing: %v", metrics)
+	}
+	ratio := metrics["publish.ratio100kOver1k"]
+	if ratio <= 0 || ratio > 2.0 {
+		t.Errorf("publish cost at 100k records is %.2fx the 1k cost (want <= 2x): %v", ratio, metrics)
+	}
+	if !strings.Contains(buf.String(), "publish") {
+		t.Errorf("publish report incomplete:\n%s", buf.String())
 	}
 }
 

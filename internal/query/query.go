@@ -144,18 +144,13 @@ func (r *RangeResult) ProofBytes() int {
 
 // copyRecord detaches a record from the view's backing memory. Results
 // cross the engine boundary into arbitrary consumers; without the copy, a
-// consumer mutating a result would corrupt the shared immutable view.
+// consumer mutating a result would corrupt the persistent tree's shared
+// immutable nodes — and through them every other live view. (The absence
+// and range proofs already carry detached copies, by the ads package's
+// contract.)
 func copyRecord(r ads.Record) ads.Record {
 	r.Value = append([]byte(nil), r.Value...)
 	return r
-}
-
-func copyRecords(rs []ads.Record) []ads.Record {
-	out := make([]ads.Record, len(rs))
-	for i, r := range rs {
-		out[i] = copyRecord(r)
-	}
-	return out
 }
 
 // Get answers a point read from this view.
@@ -177,12 +172,7 @@ func (v *View) Get(key string, shards int) (*GetResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Absence = &ads.AbsenceProof{
-		NRProof:   ap.NRProof,
-		RProof:    ap.RProof,
-		NRRecords: copyRecords(ap.NRRecords),
-		RRecords:  copyRecords(ap.RRecords),
-	}
+	res.Absence = ap
 	return res, nil
 }
 
@@ -191,15 +181,6 @@ func (v *View) RangeNR(lo, hi string, shards int) (*RangeResult, error) {
 	nr, err := v.set.ProveRangeNR(lo, hi)
 	if err != nil {
 		return nil, err
-	}
-	nr.Records = copyRecords(nr.Records)
-	if nr.Before != nil {
-		b := copyRecord(*nr.Before)
-		nr.Before = &b
-	}
-	if nr.After != nil {
-		a := copyRecord(*nr.After)
-		nr.After = &a
 	}
 	return &RangeResult{
 		Shard: v.shard, Shards: shards,
@@ -320,11 +301,17 @@ func VerifyGet(key string, r *GetResult) error {
 	if r.Record.Key != key {
 		return fmt.Errorf("%w: proof speaks for key %q, not %q", merkle.ErrInvalidProof, r.Record.Key, key)
 	}
-	if r.Proof.LeafCount != ads.CapacityFor(r.Count) {
+	if r.Proof.LeafCount != r.Count {
 		return fmt.Errorf("%w: leaf count %d does not match %d records", merkle.ErrInvalidProof, r.Proof.LeafCount, r.Count)
 	}
 	if r.Proof.Index >= r.Count {
 		return fmt.Errorf("%w: record index %d beyond %d records", merkle.ErrInvalidProof, r.Proof.Index, r.Count)
+	}
+	// The digest commits the record count as the final fold step, so a
+	// count lie relative to the proof is cryptographically checkable: the
+	// last path node must be the count leaf for the claimed count.
+	if n := len(r.Proof.Path); n == 0 || !r.Proof.Path[n-1].Left || r.Proof.Path[n-1].Hash != ads.CountLeaf(r.Count) {
+		return fmt.Errorf("%w: proof does not commit to %d records", merkle.ErrInvalidProof, r.Count)
 	}
 	return ads.VerifyRecord(r.Root, *r.Record, r.Proof)
 }

@@ -390,3 +390,143 @@ func TestNonReplicatingFeed(t *testing.T) {
 		t.Errorf("Apply on non-replicating feed: %v", err)
 	}
 }
+
+// TestReplLogBoundaryContiguity sweeps every cursor across the retained
+// window: at or above the floor the served page must start exactly one past
+// the cursor (no gap, no overlap), strictly below it the log must answer
+// with a clean SnapshotRequired signal — never a page that skips entries.
+func TestReplLogBoundaryContiguity(t *testing.T) {
+	l := newReplLog(4)
+	for seq := uint64(1); seq <= 12; seq++ {
+		l.append(repl.Entry{Seq: seq})
+	}
+	floor := l.page(0, 0).FloorSeq
+	if floor != 8 {
+		t.Fatalf("floor = %d, want 8 (12 appended, 4 retained)", floor)
+	}
+	for from := uint64(0); from <= 13; from++ {
+		page := l.page(from, 0)
+		switch {
+		case from < floor:
+			if !page.SnapshotRequired || len(page.Entries) != 0 {
+				t.Fatalf("cursor %d below floor %d: %+v", from, floor, page)
+			}
+		case from >= 12:
+			if page.SnapshotRequired || len(page.Entries) != 0 {
+				t.Fatalf("cursor %d at/past head: %+v", from, page)
+			}
+		default:
+			if page.SnapshotRequired || len(page.Entries) == 0 || page.Entries[0].Seq != from+1 {
+				t.Fatalf("cursor %d: page does not resume at %d: %+v", from, from+1, page)
+			}
+			for i, e := range page.Entries {
+				if e.Seq != from+1+uint64(i) {
+					t.Fatalf("cursor %d: entry %d has seq %d, want %d", from, i, e.Seq, from+1+uint64(i))
+				}
+			}
+		}
+	}
+}
+
+// TestReplRetainSnapshotPruneBoundary pins the interaction between the
+// bounded in-memory replication log and snapshot-triggered log pruning: a
+// leader snapshots (pruning its durable log), restarts, and rebuilds its
+// repl log from the snapshot seq upward. A follower whose cursor sits
+// exactly at the post-restart retention floor must resume with contiguous
+// entries; a follower one below the floor must get a clean
+// snapshot-bootstrap signal — and that bootstrap must then converge to the
+// leader's anchors.
+func TestReplRetainSnapshotPruneBoundary(t *testing.T) {
+	dir := t.TempDir()
+	mkLeader := func() *ShardedFeed {
+		opts := persistOptions(dir, 1, 6, false)
+		opts.Views = true
+		opts.Repl = true
+		opts.ReplRetain = 64
+		sf, err := New(opts, func(int) (*core.Feed, error) { return newTestFeed(persistEpochOps) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sf
+	}
+	leader := mkLeader()
+	driveLeader(t, leader, 10) // auto-snapshot at batch 6 prunes log seqs <= 6
+
+	// Two followers tail the pre-restart leader (floor 0, everything in
+	// memory): one stops exactly at the upcoming floor, one a batch short.
+	atFloor, belowFloor := newReplicating(t, 1, persistEpochOps), newReplicating(t, 1, persistEpochOps)
+	catchUpTo := func(f *ShardedFeed, upto uint64) {
+		t.Helper()
+		page, err := leader.ReplPage(0, 0, int(upto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.SnapshotRequired || uint64(len(page.Entries)) < upto {
+			t.Fatalf("pre-restart leader cannot serve %d entries: %+v", upto, page)
+		}
+		for _, e := range page.Entries[:upto] {
+			if err := f.Apply(0, e); err != nil {
+				t.Fatalf("apply seq %d: %v", e.Seq, err)
+			}
+		}
+	}
+	catchUpTo(atFloor, 6)
+	catchUpTo(belowFloor, 5)
+
+	// Crash the leader (a clean Close would take a final snapshot and slide
+	// the floor to the head): recovery restores the durable snapshot (seq 6,
+	// log below it pruned), restarts the repl log there, and re-anchors the
+	// replayed tail (7..10) above it.
+	leader.Kill()
+	leader = mkLeader()
+	t.Cleanup(func() { leader.Close() })
+
+	probe, err := leader.ReplPage(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.FloorSeq != 6 || probe.LeaderSeq != 10 || !probe.SnapshotRequired {
+		t.Fatalf("post-restart window = %+v, want floor 6, head 10", probe)
+	}
+
+	// Cursor exactly at the floor: contiguous resume, no bootstrap.
+	page, err := leader.ReplPage(0, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.SnapshotRequired {
+		t.Fatalf("cursor at floor forced a bootstrap: %+v", page)
+	}
+	if len(page.Entries) != 4 || page.Entries[0].Seq != 7 {
+		t.Fatalf("cursor at floor resumed at %+v, want seqs 7..10", page)
+	}
+	for _, e := range page.Entries {
+		if err := atFloor.Apply(0, e); err != nil {
+			t.Fatalf("at-floor follower apply seq %d: %v", e.Seq, err)
+		}
+	}
+	assertSameRoots(t, leader, atFloor)
+
+	// Cursor one below the floor: clean SnapshotRequired (never a page with
+	// a seq gap), and the advertised bootstrap path works.
+	page, err = leader.ReplPage(0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !page.SnapshotRequired || len(page.Entries) != 0 {
+		t.Fatalf("cursor below floor = %+v, want SnapshotRequired", page)
+	}
+	snap, err := leader.ReplSnapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursor, err := belowFloor.Reset(0, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 10 {
+		t.Fatalf("bootstrap cursor = %d, want leader head 10", cursor)
+	}
+	ship(t, leader, belowFloor)
+	assertSameRoots(t, leader, belowFloor)
+}

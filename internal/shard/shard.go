@@ -59,8 +59,8 @@ type Options struct {
 	// Views publishes an immutable read view (frozen record set + ads
 	// root + chain height) per shard after every applied batch, served by
 	// Engine() — the authenticated read path (internal/query). Reads on
-	// that path never touch the shard workers. Costs one record-set copy
-	// per shard per batch.
+	// that path never touch the shard workers. Publication is an O(1)
+	// root-pointer capture of the persistent record set.
 	Views bool
 	// Persist, when non-nil, backs every shard with a durable op log and
 	// snapshot store (see persist.go); New recovers whatever state the
@@ -214,9 +214,11 @@ type worker struct {
 }
 
 // publishView snapshots the shard's current state into an immutable read
-// view and installs it: a frozen copy of the DO's authenticated mirror,
-// its root, the shard chain's height, and the batch count as the monotone
-// publication sequence.
+// view and installs it: the current version of the DO's authenticated
+// mirror, its root, the shard chain's height, and the batch count as the
+// monotone publication sequence. The set is a persistent tree, so Clone is
+// an O(1) root-pointer capture — publication cost is independent of the
+// record count, and any number of live views share structure.
 func (w *worker) publishView(st *shardState) {
 	if w.views == nil {
 		return
@@ -225,8 +227,8 @@ func (w *worker) publishView(st *shardState) {
 	w.views.Publish(w.idx, query.NewView(w.idx, uint64(st.batches), st.feed.Chain.Height(), frozen))
 }
 
-// anchor reads the shard's current post-apply anchor. Root is cached on the
-// live set, so the view clone that usually follows shares the one rebuild.
+// anchor reads the shard's current post-apply anchor. Root is maintained
+// incrementally on the live set, so this is an O(1) read.
 func (st *shardState) anchor() (root merkle.Hash, count int, height uint64) {
 	set := st.feed.DO.Set()
 	return set.Root(), set.Len(), st.feed.Chain.Height()
