@@ -41,7 +41,9 @@ fuzz-smoke:
 	$(GO) test ./internal/ads -run '^$$' -fuzz FuzzSetOps -fuzztime $(FUZZTIME)
 
 # Docs gate: relative markdown links in README.md and docs/ must resolve,
-# and docs/API.md must document every route registered on the gateway mux.
+# docs/API.md must document every route registered on the gateway mux, and
+# every registered metric name (grub_* string literal in non-test source)
+# must be documented in docs/API.md.
 docs-check:
 	$(GO) run ./tools/docscheck
 

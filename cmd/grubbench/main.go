@@ -10,8 +10,9 @@
 // Timing discipline: each experiment runs -warmup discarded warmup
 // iterations (JIT-warm caches, page-faulted working set), then is measured
 // repeatedly until the cumulative measured time reaches -min-time or -max-runs
-// is hit. The JSON carries per-metric mean, standard deviation and variance
-// across the measured runs, so a regression is distinguishable from noise.
+// is hit. The JSON carries per-metric mean, standard deviation, variance and
+// interpolated p50/p95/p99 across the measured runs, so a regression — mean
+// shift or tail-only — is distinguishable from noise.
 //
 // Usage:
 //
@@ -27,6 +28,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"time"
 
 	"grub/internal/bench"
@@ -39,11 +41,16 @@ func main() {
 	}
 }
 
-// metricStat summarizes one metric across the measured runs.
+// metricStat summarizes one metric across the measured runs: mean/spread
+// plus interpolated percentiles over the run samples, so a tail regression
+// is visible even when the mean holds.
 type metricStat struct {
 	Mean     float64 `json:"mean"`
 	StdDev   float64 `json:"stddev"`
 	Variance float64 `json:"variance"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
 }
 
 // expReport is one experiment's entry in the -json output. Metrics holds the
@@ -67,8 +74,8 @@ type benchReport struct {
 	Experiments []expReport `json:"experiments"`
 }
 
-// stats folds a sample set into (mean, stddev, variance). The variance is
-// the population variance of the observed runs.
+// stats folds a sample set into (mean, stddev, variance, percentiles). The
+// variance is the population variance of the observed runs.
 func stats(xs []float64) metricStat {
 	if len(xs) == 0 {
 		return metricStat{}
@@ -84,7 +91,33 @@ func stats(xs []float64) metricStat {
 		sq += d * d
 	}
 	variance := sq / float64(len(xs))
-	return metricStat{Mean: mean, StdDev: math.Sqrt(variance), Variance: variance}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return metricStat{
+		Mean: mean, StdDev: math.Sqrt(variance), Variance: variance,
+		P50: quantile(sorted, 0.50), P95: quantile(sorted, 0.95), P99: quantile(sorted, 0.99),
+	}
+}
+
+// quantile interpolates the q-quantile over an ascending-sorted sample set.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := q * float64(n-1)
+	lo := int(rank)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + (sorted[lo+1]-sorted[lo])*frac
 }
 
 // measure runs one experiment with warmup iterations and a minimum

@@ -24,11 +24,18 @@
 // taking a final snapshot and flushing each feed's store when persistence
 // is on — and exits 0.
 //
+// Observability: -slow-ms N logs one JSON line (with the batch's trace ID
+// and per-stage span breakdown) for every write batch slower than N
+// milliseconds, and -debug-addr serves net/http/pprof on a separate
+// listener, kept off the public API port. GET /metrics serves Prometheus
+// text including per-stage latency histograms, and clients can tag a batch
+// with an X-Grub-Trace header to correlate it across the gateway's spans.
+//
 // Usage:
 //
 //	grubd [-addr :8080] [-max-body 8388608] [-data-dir /var/lib/grubd]
 //	      [-snapshot-every 256] [-sync-writes] [-follow http://leader:8080]
-//	      [-repl-retain 256] [-version]
+//	      [-repl-retain 256] [-slow-ms 0] [-debug-addr addr] [-version]
 //
 // Then, for example:
 //
@@ -47,6 +54,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -94,6 +102,8 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 	syncWrites := fs.Bool("sync-writes", false, "fsync every durable log append")
 	follow := fs.String("follow", "", "replicate from this leader gateway URL and serve read-only (follower mode)")
 	replRetain := fs.Int("repl-retain", 0, "replication log entries retained per shard for followers (0 = default 256; further-behind followers bootstrap from a snapshot)")
+	slowMS := fs.Int("slow-ms", 0, "log one JSON line with the per-stage span breakdown for every write batch slower than this many milliseconds (0 = off)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate listen address (empty = off)")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,25 +113,65 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 		return nil
 	}
 	gopts := server.GatewayOptions{DataDir: *dataDir, SnapshotEvery: *snapshotEvery, SyncWrites: *syncWrites, ReplRetain: *replRetain}
-	return serve(*addr, *maxBody, *follow, gopts, w, onReady, stop)
+	sc := serveConfig{
+		addr: *addr, maxBody: *maxBody, follow: *follow,
+		slowOp: time.Duration(*slowMS) * time.Millisecond, debugAddr: *debugAddr,
+	}
+	return serve(sc, gopts, w, onReady, stop)
 }
 
-func serve(addr string, maxBody int64, follow string, gopts server.GatewayOptions, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
+// serveConfig carries the HTTP-layer knobs from flag parsing to serve.
+type serveConfig struct {
+	addr      string
+	maxBody   int64
+	follow    string
+	slowOp    time.Duration
+	debugAddr string
+}
+
+// debugServer serves net/http/pprof on its own listener. The profiling
+// surface stays off the public API mux: an explicit mux with only the pprof
+// routes, bound to an address the operator chose for it.
+func debugServer(addr string) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Handler: mux}, ln, nil
+}
+
+func serve(sc serveConfig, gopts server.GatewayOptions, w io.Writer, onReady func(net.Addr), stop <-chan struct{}) error {
 	w = &syncWriter{w: w}
 	g, err := server.NewGatewayWithOptions(gopts)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", sc.addr)
 	if err != nil {
 		g.Close()
 		return err
 	}
-	hc := server.HandlerConfig{MaxBodyBytes: maxBody}
+	hc := server.HandlerConfig{MaxBodyBytes: sc.maxBody, SlowOp: sc.slowOp}
 	var follower *repl.Follower
-	if follow != "" {
-		follower = repl.NewFollower(repl.Options{Leader: follow}, g.ReplTarget())
+	if sc.follow != "" {
+		follower = repl.NewFollower(repl.Options{Leader: sc.follow, Pipeline: g.Pipeline()}, g.ReplTarget())
 		hc.Follower = follower
+	}
+	var dbg *http.Server
+	var dbgLn net.Listener
+	if sc.debugAddr != "" {
+		dbg, dbgLn, err = debugServer(sc.debugAddr)
+		if err != nil {
+			ln.Close()
+			g.Close()
+			return err
+		}
 	}
 	srv := &http.Server{Handler: server.NewHandlerConfig(g, hc)}
 
@@ -147,6 +197,9 @@ func serve(addr string, maxBody int64, follow string, gopts server.GatewayOption
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		srv.Shutdown(ctx)
+		if dbg != nil {
+			dbg.Shutdown(ctx)
+		}
 		// Stop the replication tailers before their target drains.
 		if follower != nil {
 			follower.Close()
@@ -160,6 +213,13 @@ func serve(addr string, maxBody int64, follow string, gopts server.GatewayOption
 	if follower != nil {
 		follower.Start()
 		fmt.Fprintf(w, "grubd: following leader %s (read-only replica)\n", follower.Leader())
+	}
+	if sc.slowOp > 0 {
+		fmt.Fprintf(w, "grubd: logging batches slower than %v\n", sc.slowOp)
+	}
+	if dbg != nil {
+		go dbg.Serve(dbgLn)
+		fmt.Fprintf(w, "grubd: pprof listening on http://%s/debug/pprof/\n", dbgLn.Addr())
 	}
 	fmt.Fprintf(w, "grubd: gateway listening on http://%s\n", ln.Addr())
 	if onReady != nil {

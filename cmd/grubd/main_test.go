@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"net"
+	"net/http"
+	"regexp"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -182,6 +185,55 @@ func TestVersionFlag(t *testing.T) {
 	want := "grubd " + server.Version + "\n"
 	if buf.String() != want {
 		t.Errorf("-version printed %q, want %q", buf.String(), want)
+	}
+}
+
+// TestObservabilityFlags starts a daemon with -slow-ms and -debug-addr:
+// the pprof index must serve on the separate debug listener (and only
+// there), and the slow-op banner must announce the threshold. The slow-op
+// log itself goes to stderr, so its content is pinned at the server layer.
+func TestObservabilityFlags(t *testing.T) {
+	var buf bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-slow-ms", "1", "-debug-addr", "127.0.0.1:0"},
+			&buf, func(a net.Addr) { ready <- a }, stop)
+	}()
+	addr := <-ready
+
+	// Banners are flushed before onReady fires, so reading buf here does
+	// not race with the serve goroutine.
+	banner := buf.String()
+	if !strings.Contains(banner, "logging batches slower than 1ms") {
+		t.Errorf("slow-op banner missing: %q", banner)
+	}
+	m := regexp.MustCompile(`pprof listening on http://([^/\s]+)/`).FindStringSubmatch(banner)
+	if m == nil {
+		t.Fatalf("pprof banner missing: %q", banner)
+	}
+	resp, err := http.Get("http://" + m[1] + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("debug listener /debug/pprof/ = HTTP %d, want 200", resp.StatusCode)
+	}
+	// The public API port must not expose the profiling surface.
+	resp, err = http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof exposed on the public API listener")
+	}
+
+	close(stop)
+	if err := <-errc; err != nil {
+		t.Fatalf("serve returned: %v", err)
 	}
 }
 

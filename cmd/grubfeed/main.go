@@ -208,6 +208,10 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 	}
 	fmt.Fprintf(w, "\nload results: %d ops in %v -> %.0f ops/sec, avg gas/op %.0f\n",
 		res.LoadOps, res.Elapsed.Round(time.Millisecond), res.OpsPerSec(), res.AvgGasPerOp())
+	fmt.Fprintf(w, "batch latency: p50 %v, p95 %v, p99 %v\n",
+		res.LatencyQuantile(0.50).Round(time.Microsecond),
+		res.LatencyQuantile(0.95).Round(time.Microsecond),
+		res.LatencyQuantile(0.99).Round(time.Microsecond))
 	if info.Persistent {
 		snapshots, logged := 0, 0
 		for _, st := range res.Stats {

@@ -53,7 +53,14 @@ func RunGateway(cfg Config) error {
 	fmt.Fprintf(cfg.W, "\nthroughput: %d load ops in %v -> %.0f ops/sec\n",
 		res.LoadOps, res.Elapsed.Round(time.Millisecond), res.OpsPerSec())
 	fmt.Fprintf(cfg.W, "aggregate feed Gas per op: %.0f\n", res.AvgGasPerOp())
+	p50, p95, p99 := res.LatencyQuantile(0.50), res.LatencyQuantile(0.95), res.LatencyQuantile(0.99)
+	fmt.Fprintf(cfg.W, "batch latency: p50 %v, p95 %v, p99 %v (%d batches)\n",
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond),
+		len(res.BatchLatencies))
 	cfg.metric("opsPerSec", res.OpsPerSec())
 	cfg.metric("gasPerOp", res.AvgGasPerOp())
+	cfg.metric("batchP50Ms", float64(p50)/float64(time.Millisecond))
+	cfg.metric("batchP95Ms", float64(p95)/float64(time.Millisecond))
+	cfg.metric("batchP99Ms", float64(p99)/float64(time.Millisecond))
 	return nil
 }

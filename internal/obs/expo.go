@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabel escapes a label value for the Prometheus text exposition
+// format (backslash, double quote, newline).
+func EscapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// Labels formats an ordered list of name/value pairs as a rendered
+// label block: Labels("feed", "m", "shard", "0") == `{feed="m",shard="0"}`.
+// An empty pair list yields "".
+func Labels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: Labels requires name/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(pairs[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Sample is one series value computed at scrape time.
+type Sample struct {
+	Labels string // pre-rendered label block ("" or "{...}")
+	Value  float64
+}
+
+// Series is a metric family whose values are derived from live state at
+// scrape time (e.g. gauges computed from engine stats) rather than
+// accumulated in the registry.
+type Series struct {
+	Name    string
+	Help    string
+	Type    string // "counter" or "gauge"
+	Samples []Sample
+}
+
+// WriteSeries renders scrape-time series in the Prometheus text format.
+// Families with no samples are skipped.
+func WriteSeries(w io.Writer, series []Series) {
+	for _, s := range series {
+		if len(s.Samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type)
+		for _, sm := range s.Samples {
+			fmt.Fprintf(w, "%s%s %s\n", s.Name, sm.Labels, formatFloat(sm.Value))
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import "sync"
+
+// Pipeline stage names. Each applied write batch flows through
+// ingress → mailbox → persist → apply → repl_append → publish; the
+// read path adds proof_build, and a follower adds follower_fetch,
+// follower_verify, and follower_apply.
+const (
+	StageIngress        = "ingress"         // HTTP decode + scatter-gather round trip
+	StageMailbox        = "mailbox"         // queued in a shard worker's mailbox
+	StagePersist        = "persist"         // WAL append (log-then-apply)
+	StageApply          = "apply"           // core.ApplyOps on the shard feed
+	StageReplAppend     = "repl_append"     // repl log append
+	StagePublish        = "publish"         // immutable view publication
+	StageProofBuild     = "proof_build"     // query engine proof construction
+	StageFollowerFetch  = "follower_fetch"  // follower: fetch a log page from the leader
+	StageFollowerVerify = "follower_verify" // follower: verify + apply a replicated batch
+	StageFollowerApply  = "follower_apply"  // leader-log batch applied on a follower shard
+)
+
+// Stages lists every pipeline stage name, in pipeline order.
+var Stages = []string{
+	StageIngress,
+	StageMailbox,
+	StagePersist,
+	StageApply,
+	StageReplAppend,
+	StagePublish,
+	StageProofBuild,
+	StageFollowerFetch,
+	StageFollowerVerify,
+	StageFollowerApply,
+}
+
+// StageSecondsMetric is the histogram family name for per-stage batch
+// latency, labeled by (feed, stage).
+const StageSecondsMetric = "grub_stage_seconds"
+
+// Pipeline owns the per-(feed, stage) latency histograms for one
+// process. Nil-safe: a nil Pipeline yields nil FeedStages, whose
+// histogram fields are nil and absorb observations as no-ops.
+type Pipeline struct {
+	vec *HistogramVec
+
+	mu    sync.Mutex
+	feeds map[string]*FeedStages
+}
+
+// NewPipeline registers the stage histogram family on reg.
+func NewPipeline(reg *Registry) *Pipeline {
+	return &Pipeline{
+		vec: reg.NewHistogramVec(StageSecondsMetric,
+			"Per-stage batch latency in seconds, labeled by feed and pipeline stage.",
+			nil, "feed", "stage"),
+		feeds: make(map[string]*FeedStages),
+	}
+}
+
+// Feed returns the cached stage histogram set for a feed.
+func (p *Pipeline) Feed(id string) *FeedStages {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fs, ok := p.feeds[id]; ok {
+		return fs
+	}
+	fs := &FeedStages{
+		Ingress:        p.vec.With(id, StageIngress),
+		Mailbox:        p.vec.With(id, StageMailbox),
+		Persist:        p.vec.With(id, StagePersist),
+		Apply:          p.vec.With(id, StageApply),
+		ReplAppend:     p.vec.With(id, StageReplAppend),
+		Publish:        p.vec.With(id, StagePublish),
+		ProofBuild:     p.vec.With(id, StageProofBuild),
+		FollowerFetch:  p.vec.With(id, StageFollowerFetch),
+		FollowerVerify: p.vec.With(id, StageFollowerVerify),
+		FollowerApply:  p.vec.With(id, StageFollowerApply),
+	}
+	p.feeds[id] = fs
+	return fs
+}
+
+// FeedStages holds one latency histogram per pipeline stage for a
+// single feed. Fields on a nil *FeedStages read as nil histograms.
+type FeedStages struct {
+	Ingress        *Histogram
+	Mailbox        *Histogram
+	Persist        *Histogram
+	Apply          *Histogram
+	ReplAppend     *Histogram
+	Publish        *Histogram
+	ProofBuild     *Histogram
+	FollowerFetch  *Histogram
+	FollowerVerify *Histogram
+	FollowerApply  *Histogram
+}
+
+// Hist returns the histogram for a stage name (nil for unknown stages
+// or a nil receiver).
+func (fs *FeedStages) Hist(stage string) *Histogram {
+	if fs == nil {
+		return nil
+	}
+	switch stage {
+	case StageIngress:
+		return fs.Ingress
+	case StageMailbox:
+		return fs.Mailbox
+	case StagePersist:
+		return fs.Persist
+	case StageApply:
+		return fs.Apply
+	case StageReplAppend:
+		return fs.ReplAppend
+	case StagePublish:
+		return fs.Publish
+	case StageProofBuild:
+		return fs.ProofBuild
+	case StageFollowerFetch:
+		return fs.FollowerFetch
+	case StageFollowerVerify:
+		return fs.FollowerVerify
+	case StageFollowerApply:
+		return fs.FollowerApply
+	}
+	return nil
+}
+
+// get* nil-safe field accessors used by instrumented code that holds a
+// possibly-nil *FeedStages.
+func (fs *FeedStages) GetIngress() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.Ingress
+}
+
+func (fs *FeedStages) GetMailbox() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.Mailbox
+}
+
+func (fs *FeedStages) GetPersist() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.Persist
+}
+
+func (fs *FeedStages) GetApply() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.Apply
+}
+
+func (fs *FeedStages) GetReplAppend() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.ReplAppend
+}
+
+func (fs *FeedStages) GetPublish() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.Publish
+}
+
+func (fs *FeedStages) GetProofBuild() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.ProofBuild
+}
+
+func (fs *FeedStages) GetFollowerFetch() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.FollowerFetch
+}
+
+func (fs *FeedStages) GetFollowerVerify() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.FollowerVerify
+}
+
+func (fs *FeedStages) GetFollowerApply() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.FollowerApply
+}

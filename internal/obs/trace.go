@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a trace ID across the
+// wire. A client may supply its own ID; the gateway echoes it back and
+// stamps it on every span the batch produces.
+const TraceHeader = "X-Grub-Trace"
+
+// NewTraceID returns a fresh 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; keep a
+		// deterministic fallback rather than panicking in a hot path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanRecord is one completed stage of a traced batch.
+type SpanRecord struct {
+	Stage   string `json:"stage"`
+	Shard   int    `json:"shard"` // -1 for gateway-level spans
+	StartUS int64  `json:"startUs"`
+	DurUS   int64  `json:"durUs"`
+}
+
+// Trace collects the per-stage spans of one batch as it moves through
+// the pipeline. All methods are nil-safe so untraced requests pay only
+// a nil check.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace starts a trace. An empty id generates a random one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace's start time.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// AddSpan records a completed span for stage on shard (use shard -1 for
+// gateway-level stages) that ran [start, start+dur).
+func (t *Trace) AddSpan(stage string, shard int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	rec := SpanRecord{
+		Stage:   stage,
+		Shard:   shard,
+		StartUS: start.Sub(t.start).Microseconds(),
+		DurUS:   dur.Microseconds(),
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans ordered by start time,
+// then stage name.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the trace from a context (nil if absent).
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

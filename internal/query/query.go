@@ -27,9 +27,11 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grub/internal/ads"
 	"grub/internal/merkle"
+	"grub/internal/obs"
 )
 
 // ErrNoView is returned when a shard has not published a read view yet.
@@ -195,7 +197,14 @@ func (v *View) RangeNR(lo, hi string, shards int) (*RangeResult, error) {
 // granularity).
 type Engine struct {
 	views []atomic.Pointer[View]
+	// proofHist, when non-nil, times proof construction (the proof_build
+	// pipeline stage): one observation per Get, one per Range fan-out.
+	proofHist *obs.Histogram
 }
+
+// SetProofHistogram wires the engine's proof-construction latency into a
+// stage histogram (nil disables). Call before serving reads.
+func (e *Engine) SetProofHistogram(h *obs.Histogram) { e.proofHist = h }
 
 // NewEngine returns an engine for a feed with the given shard count.
 func NewEngine(shards int) *Engine {
@@ -232,12 +241,18 @@ func (e *Engine) Get(key string) (*GetResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.proofHist != nil {
+		defer e.proofHist.ObserveSince(time.Now())
+	}
 	return v.Get(key, len(e.views))
 }
 
 // Range fans a key-range scan across every shard concurrently and gathers
 // one completeness-proven slice per shard, in shard order.
 func (e *Engine) Range(lo, hi string) ([]RangeResult, error) {
+	if e.proofHist != nil {
+		defer e.proofHist.ObserveSince(time.Now())
+	}
 	out := make([]RangeResult, len(e.views))
 	errs := make([]error, len(e.views))
 	var wg sync.WaitGroup

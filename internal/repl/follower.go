@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"grub/internal/obs"
 )
 
 // Options configures a Follower.
@@ -30,6 +32,10 @@ type Options struct {
 	Refresh time.Duration
 	// MaxBatches bounds entries per log fetch (default 64).
 	MaxBatches int
+	// Pipeline, when non-nil, receives per-feed follower_fetch (log page
+	// fetch round trip) and follower_verify (verified batch apply)
+	// latency observations.
+	Pipeline *obs.Pipeline
 }
 
 func (o Options) withDefaults() Options {
@@ -107,8 +113,9 @@ type Follower struct {
 
 // feedRepl tracks one replicated feed.
 type feedRepl struct {
-	id   string
-	stop chan struct{} // closed when the feed leaves the leader
+	id     string
+	stop   chan struct{}   // closed when the feed leaves the leader
+	stages *obs.FeedStages // nil without Options.Pipeline
 
 	mu     sync.Mutex
 	state  string
@@ -274,7 +281,7 @@ func (f *Follower) syncFeeds(infos []FeedInfo) {
 				continue
 			}
 		}
-		fr := &feedRepl{id: info.ID, stop: make(chan struct{}), state: StateSyncing}
+		fr := &feedRepl{id: info.ID, stop: make(chan struct{}), state: StateSyncing, stages: f.opts.Pipeline.Feed(info.ID)}
 		f.feeds[info.ID] = fr
 		fresh = append(fresh, struct {
 			fr  *feedRepl
@@ -345,6 +352,7 @@ func (f *Follower) tail(fr *feedRepl, lf Feed, t *shardTail) {
 			return
 		default:
 		}
+		fetchStart := time.Now()
 		page, err := f.client.Log(fr.id, t.shard, cursor, f.opts.MaxBatches)
 		if err != nil {
 			if errors.Is(err, ErrFeedGone) {
@@ -359,6 +367,7 @@ func (f *Follower) tail(fr *feedRepl, lf Feed, t *shardTail) {
 			backoff = f.grow(backoff)
 			continue
 		}
+		fr.stages.GetFollowerFetch().ObserveSince(fetchStart)
 		t.observe(cursor, page.LeaderSeq)
 		if page.LeaderSeq < cursor {
 			// The local shard is ahead of the leader: wrong leader, local
@@ -401,6 +410,7 @@ func (f *Follower) tail(fr *feedRepl, lf Feed, t *shardTail) {
 		}
 		pageErr := false
 		for _, e := range page.Entries {
+			verifyStart := time.Now()
 			if err := lf.Apply(t.shard, e); err != nil {
 				if errors.Is(err, ErrDivergence) {
 					t.set(StateHalted, err)
@@ -416,6 +426,7 @@ func (f *Follower) tail(fr *feedRepl, lf Feed, t *shardTail) {
 				pageErr = true
 				break
 			}
+			fr.stages.GetFollowerVerify().ObserveSince(verifyStart)
 			cursor = e.Seq
 		}
 		t.observe(cursor, page.LeaderSeq)

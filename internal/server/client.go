@@ -186,11 +186,34 @@ func (c *Client) Roots(id string) ([]query.RootInfo, error) {
 	return out.Shards, nil
 }
 
-// Health probes the gateway's liveness endpoint.
+// Health probes the gateway's liveness endpoint. A degraded gateway
+// answers 503 but still returns a decodable body (OK=false, the halted
+// shards in Degraded), so Health decodes it instead of failing: the
+// caller distinguishes "unreachable" (error) from "up but degraded"
+// (OK=false).
 func (c *Client) Health() (HealthResponse, error) {
-	var out HealthResponse
-	if err := c.call(http.MethodGet, "/healthz", nil, &out); err != nil {
+	resp, err := c.httpClient().Get(c.BaseURL + "/healthz")
+	if err != nil {
 		return HealthResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out HealthResponse
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return HealthResponse{}, fmt.Errorf("client: GET /healthz: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return HealthResponse{}, fmt.Errorf("client: decode /healthz: %w", err)
+	}
+	return out, nil
+}
+
+// Latency fetches one feed's per-stage latency percentiles (the same
+// histograms /metrics exposes, summarized in milliseconds).
+func (c *Client) Latency(id string) (LatencyResponse, error) {
+	var out LatencyResponse
+	if err := c.call(http.MethodGet, "/feeds/"+id+"/stats/latency", nil, &out); err != nil {
+		return LatencyResponse{}, err
 	}
 	return out, nil
 }

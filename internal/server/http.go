@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
+	"grub/internal/obs"
 	"grub/internal/query"
 	"grub/internal/repl"
 	"grub/internal/shard"
@@ -40,6 +43,14 @@ type HandlerConfig struct {
 	// replication health. Reads — including the authenticated read path —
 	// serve locally from the replicated state.
 	Follower *repl.Follower
+	// SlowOp enables structured slow-batch logging (grubd's -slow-ms):
+	// every write batch whose gateway round trip exceeds it emits one
+	// JSON line (SlowOpRecord) with the batch's trace ID and per-stage
+	// span breakdown. 0 disables. Enabling it also traces every batch,
+	// whether or not the client sent an X-Grub-Trace header.
+	SlowOp time.Duration
+	// SlowOpWriter receives the slow-op lines (default os.Stderr).
+	SlowOpWriter io.Writer
 }
 
 // BatchRequest is the body of POST /feeds/{id}/ops.
@@ -85,7 +96,10 @@ type InfoResponse struct {
 }
 
 // HealthResponse is the body of GET /healthz, the load-balancer liveness
-// probe.
+// probe. A gateway with any halted shard — a leader-side divergence halt,
+// or (in follower mode) a tailer that refused to fork — reports OK=false
+// with the shards listed in Degraded, and the probe answers 503 so the
+// balancer stops routing to a node serving frozen state.
 type HealthResponse struct {
 	OK      bool   `json:"ok"`
 	Feeds   int    `json:"feeds"`
@@ -93,6 +107,26 @@ type HealthResponse struct {
 	// Follower is the leader URL when this gateway is a read-only replica
 	// ("" on a leader/standalone gateway).
 	Follower string `json:"follower,omitempty"`
+	// Degraded lists halted shards, sorted by feed then shard.
+	Degraded []ShardHealth `json:"degraded,omitempty"`
+}
+
+// StageLatency summarizes one pipeline stage's latency distribution for
+// GET /feeds/{id}/stats/latency, in milliseconds.
+type StageLatency struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"meanMs"`
+	P50MS  float64 `json:"p50Ms"`
+	P95MS  float64 `json:"p95Ms"`
+	P99MS  float64 `json:"p99Ms"`
+}
+
+// LatencyResponse is the body of GET /feeds/{id}/stats/latency: per-stage
+// latency percentiles for every pipeline stage the feed has crossed at
+// least once (derived from the same histograms /metrics exposes).
+type LatencyResponse struct {
+	ID     string                  `json:"id"`
+	Stages map[string]StageLatency `json:"stages"`
 }
 
 // ReplFeedsResponse is the body of GET /repl/feeds: every hosted feed's
@@ -200,6 +234,7 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	slow := newSlowLogger(hc.SlowOp, hc.SlowOpWriter)
 	mux := http.NewServeMux()
 
 	// rejectWrite answers mutating requests on a read-only follower: 403
@@ -247,12 +282,53 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		if !decodeBody(w, r, maxBody, &req) {
 			return
 		}
-		results, err := g.Do(r.PathValue("id"), req.Ops)
+		id := r.PathValue("id")
+		// Trace the batch when the client asked for it (X-Grub-Trace)
+		// or slow-op logging needs the span breakdown; everything else
+		// runs with a nil trace and pays only nil checks.
+		var tr *obs.Trace
+		if traceID := r.Header.Get(obs.TraceHeader); traceID != "" || slow != nil {
+			tr = obs.NewTrace(traceID)
+			w.Header().Set(obs.TraceHeader, tr.ID())
+		}
+		ctx := obs.WithTrace(r.Context(), tr)
+		start := time.Now()
+		results, err := g.DoCtx(ctx, id, req.Ops)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
+		dur := time.Since(start)
+		// Ingress covers the whole gateway round trip: scatter, every
+		// per-shard stage, gather.
+		g.Pipeline().Feed(id).GetIngress().Observe(dur.Seconds())
+		tr.AddSpan(obs.StageIngress, -1, start, dur)
+		slow.maybeLog(tr, id, len(req.Ops), dur)
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	})
+
+	mux.HandleFunc("GET /feeds/{id}/stats/latency", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, err := g.Stats(id); err != nil {
+			writeErr(w, err) // 404 for unknown feeds, not empty histograms
+			return
+		}
+		fs := g.Pipeline().Feed(id)
+		resp := LatencyResponse{ID: id, Stages: map[string]StageLatency{}}
+		for _, stage := range obs.Stages {
+			s := fs.Hist(stage).Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			resp.Stages[stage] = StageLatency{
+				Count:  s.Count,
+				MeanMS: s.Mean() * 1000,
+				P50MS:  s.Quantile(0.50) * 1000,
+				P95MS:  s.Quantile(0.95) * 1000,
+				P99MS:  s.Quantile(0.99) * 1000,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /feeds/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -297,10 +373,35 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 			Feeds:   len(g.Feeds()),
 			Version: Version,
 		}
+		// Engine-side divergence halts (a replicated apply this gateway
+		// refused) and, in follower mode, tailer-side halts both degrade
+		// the probe: a halted shard serves a frozen view forever.
+		resp.Degraded = g.Halted()
 		if hc.Follower != nil {
 			resp.Follower = hc.Follower.Leader()
+			seen := make(map[string]map[int]bool, len(resp.Degraded))
+			for _, d := range resp.Degraded {
+				if seen[d.Feed] == nil {
+					seen[d.Feed] = make(map[int]bool)
+				}
+				seen[d.Feed][d.Shard] = true
+			}
+			feeds, _ := hc.Follower.Status()
+			for _, fs := range feeds {
+				for _, ss := range fs.Shards {
+					if ss.State == repl.StateHalted && !seen[fs.ID][ss.Shard] {
+						resp.Degraded = append(resp.Degraded,
+							ShardHealth{Feed: fs.ID, Shard: ss.Shard, State: repl.StateHalted, Error: ss.Error})
+					}
+				}
+			}
 		}
-		writeJSON(w, http.StatusOK, resp)
+		status := http.StatusOK
+		if len(resp.Degraded) > 0 {
+			resp.OK = false
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, resp)
 	})
 
 	mux.HandleFunc("GET /metrics", metricsHandler(g, hc.Follower))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -76,11 +77,14 @@ func (s LoadSpec) validate() error {
 
 // LoadResult reports one load run. Stats holds one entry per feed, fetched
 // after the run completed (and before the driver removed its feeds).
+// BatchLatencies holds every load-phase batch's client-observed round-trip
+// time (preload excluded), sorted ascending.
 type LoadResult struct {
-	PreloadOps int
-	LoadOps    int
-	Elapsed    time.Duration
-	Stats      []Stats
+	PreloadOps     int
+	LoadOps        int
+	Elapsed        time.Duration
+	Stats          []Stats
+	BatchLatencies []time.Duration
 }
 
 // OpsPerSec is the load-phase throughput (preload excluded).
@@ -89,6 +93,30 @@ func (r LoadResult) OpsPerSec() float64 {
 		return 0
 	}
 	return float64(r.LoadOps) / r.Elapsed.Seconds()
+}
+
+// LatencyQuantile returns the q-quantile (0 <= q <= 1) of the per-batch
+// client-observed latencies by linear interpolation over the sorted samples.
+// Zero when no batches were recorded.
+func (r LoadResult) LatencyQuantile(q float64) time.Duration {
+	n := len(r.BatchLatencies)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return r.BatchLatencies[0]
+	}
+	if q >= 1 {
+		return r.BatchLatencies[n-1]
+	}
+	rank := q * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return r.BatchLatencies[n-1]
+	}
+	a, b := float64(r.BatchLatencies[lo]), float64(r.BatchLatencies[lo+1])
+	return time.Duration(a + (b-a)*frac)
 }
 
 // AvgGasPerOp aggregates feed-layer Gas per op over every executed op,
@@ -140,6 +168,9 @@ func RunLoad(c *Client, spec LoadSpec) (LoadResult, error) {
 
 	var wg sync.WaitGroup
 	errs := make(chan error, spec.Clients)
+	// Each client records its own batch round-trip times; the slices merge
+	// after wg.Wait so the hot path takes no shared lock.
+	perClient := make([][]time.Duration, spec.Clients)
 	start := time.Now()
 	for ci := 0; ci < spec.Clients; ci++ {
 		wg.Add(1)
@@ -148,12 +179,16 @@ func RunLoad(c *Client, spec LoadSpec) (LoadResult, error) {
 			cl := NewClient(c.BaseURL)
 			id := feedID(ci % spec.Feeds)
 			d := ycsb.NewDriver(spec.Workload, spec.Records, 32, spec.Seed+uint64(ci+1)*7919)
+			lats := make([]time.Duration, 0, spec.Batches)
 			for b := 0; b < spec.Batches; b++ {
+				t0 := time.Now()
 				if _, err := cl.Do(id, FromWorkload(d.Generate(spec.BatchOps))); err != nil {
 					errs <- err
 					return
 				}
+				lats = append(lats, time.Since(t0))
 			}
+			perClient[ci] = lats
 		}(ci)
 	}
 	wg.Wait()
@@ -164,6 +199,12 @@ func RunLoad(c *Client, spec LoadSpec) (LoadResult, error) {
 	elapsed := time.Since(start)
 
 	res := LoadResult{PreloadOps: len(preload) * spec.Feeds, Elapsed: elapsed}
+	for _, lats := range perClient {
+		res.BatchLatencies = append(res.BatchLatencies, lats...)
+	}
+	sort.Slice(res.BatchLatencies, func(i, j int) bool {
+		return res.BatchLatencies[i] < res.BatchLatencies[j]
+	})
 	for i := 0; i < spec.Feeds; i++ {
 		st, err := c.Stats(feedID(i))
 		if err != nil {

@@ -1,53 +1,48 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
+	"grub/internal/obs"
 	"grub/internal/repl"
 )
 
-// GET /metrics: Prometheus text exposition (format 0.0.4), hand-rendered so
-// the gateway stays dependency-free. Per-feed counters come from the same
-// Stats snapshot the JSON API serves; on a follower the replication gauges
-// (notably grub_repl_lag = leader seq − follower seq, per shard) come from
-// the follower's tailer status.
-
-// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
-func escapeLabel(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
-}
+// GET /metrics: Prometheus text exposition (format 0.0.4), rendered by
+// internal/obs so the gateway stays dependency-free. Two sources merge into
+// one scrape: per-feed counters/gauges derived from the same Stats snapshot
+// the JSON API serves (computed at scrape time — the engine is the source
+// of truth, not a second set of counters that could drift), and the
+// registry-backed pipeline-stage latency histograms (grub_stage_seconds)
+// the shard workers, query engine and follower tailers observe into. On a
+// follower the replication gauges (notably grub_repl_lag = leader seq −
+// follower seq, per shard) come from the follower's tailer status.
 
 // metricsHandler renders the gateway's metrics; follower may be nil (leader
 // or standalone mode).
 func metricsHandler(g *Gateway, follower *repl.Follower) http.HandlerFunc {
-	type series struct {
-		name, help, typ string
-		samples         []string
-	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		ids := g.Feeds()
-		feedSeries := []series{
-			{name: "grub_feed_ops_total", help: "Executed ops per feed.", typ: "counter"},
-			{name: "grub_feed_batches_total", help: "Executed batches per feed.", typ: "counter"},
-			{name: "grub_feed_gas_total", help: "Cumulative feed-layer gas per feed.", typ: "counter"},
-			{name: "grub_feed_records", help: "Records currently held per feed.", typ: "gauge"},
-			{name: "grub_feed_delivered_total", help: "Reads delivered per feed.", typ: "counter"},
-			{name: "grub_feed_replicated", help: "Records currently replicated on-chain per feed.", typ: "gauge"},
-			{name: "grub_feed_persist_snapshots_total", help: "Durable snapshots taken per feed.", typ: "counter"},
-			{name: "grub_feed_persist_logged_batches", help: "Durable log records retained since the last snapshot per feed.", typ: "gauge"},
+		feedSeries := []obs.Series{
+			{Name: "grub_feed_ops_total", Help: "Executed ops per feed.", Type: "counter"},
+			{Name: "grub_feed_batches_total", Help: "Executed batches per feed.", Type: "counter"},
+			{Name: "grub_feed_gas_total", Help: "Cumulative feed-layer gas per feed.", Type: "counter"},
+			{Name: "grub_feed_records", Help: "Records currently held per feed.", Type: "gauge"},
+			{Name: "grub_feed_delivered_total", Help: "Reads delivered per feed.", Type: "counter"},
+			{Name: "grub_feed_replicated", Help: "Records currently replicated on-chain per feed.", Type: "gauge"},
+			{Name: "grub_feed_persist_snapshots_total", Help: "Durable snapshots taken per feed.", Type: "counter"},
+			{Name: "grub_feed_persist_logged_batches", Help: "Durable log records retained since the last snapshot per feed.", Type: "gauge"},
 		}
 		for _, id := range ids {
 			st, err := g.Stats(id)
 			if err != nil {
 				continue // closed mid-scrape
 			}
-			label := fmt.Sprintf(`{feed="%s"}`, escapeLabel(id))
+			label := obs.Labels("feed", id)
 			add := func(i int, v float64) {
-				feedSeries[i].samples = append(feedSeries[i].samples, fmt.Sprintf("%s%s %g", feedSeries[i].name, label, v))
+				feedSeries[i].Samples = append(feedSeries[i].Samples, obs.Sample{Labels: label, Value: v})
 			}
 			add(0, float64(st.Ops))
 			add(1, float64(st.Batches))
@@ -60,27 +55,34 @@ func metricsHandler(g *Gateway, follower *repl.Follower) http.HandlerFunc {
 				add(7, float64(st.Persist.LoggedBatches))
 			}
 		}
+		halted := len(g.Halted())
 
-		var b strings.Builder
-		fmt.Fprintf(&b, "# HELP grub_gateway_feeds Feeds hosted by this gateway.\n# TYPE grub_gateway_feeds gauge\ngrub_gateway_feeds %d\n", len(ids))
-		isFollower := 0
+		isFollower := 0.0
 		if follower != nil {
 			isFollower = 1
 		}
-		fmt.Fprintf(&b, "# HELP grub_repl_follower Whether this gateway runs in follower mode.\n# TYPE grub_repl_follower gauge\ngrub_repl_follower %d\n", isFollower)
-		for _, s := range feedSeries {
-			if len(s.samples) == 0 {
-				continue
-			}
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ)
-			for _, line := range s.samples {
-				b.WriteString(line)
-				b.WriteByte('\n')
-			}
-		}
+		var b strings.Builder
+		obs.WriteSeries(&b, []obs.Series{
+			{
+				Name: "grub_gateway_feeds", Help: "Feeds hosted by this gateway.", Type: "gauge",
+				Samples: []obs.Sample{{Value: float64(len(ids))}},
+			},
+			{
+				Name: "grub_repl_follower", Help: "Whether this gateway runs in follower mode.", Type: "gauge",
+				Samples: []obs.Sample{{Value: isFollower}},
+			},
+			{
+				Name: "grub_shards_halted", Help: "Shards permanently halted on a detected divergence.", Type: "gauge",
+				Samples: []obs.Sample{{Value: float64(halted)}},
+			},
+		})
+		obs.WriteSeries(&b, feedSeries)
 		if follower != nil {
-			writeFollowerMetrics(&b, follower)
+			obs.WriteSeries(&b, followerSeries(follower))
 		}
+		// Registry-backed families (the grub_stage_seconds pipeline
+		// histograms) render last; the registry sorts its own families.
+		g.Metrics().WritePrometheus(&b)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte(b.String()))
@@ -94,31 +96,23 @@ var replStateCode = map[string]int{
 	repl.StateFailed: 3, repl.StateHalted: 4,
 }
 
-func writeFollowerMetrics(b *strings.Builder, follower *repl.Follower) {
+func followerSeries(follower *repl.Follower) []obs.Series {
 	feeds, _ := follower.Status()
 	sort.Slice(feeds, func(i, j int) bool { return feeds[i].ID < feeds[j].ID })
-	var seq, leaderSeq, lag, state []string
+	out := []obs.Series{
+		{Name: "grub_repl_seq", Help: "Follower's applied batch sequence per feed shard.", Type: "gauge"},
+		{Name: "grub_repl_leader_seq", Help: "Leader's batch sequence as last observed, per feed shard.", Type: "gauge"},
+		{Name: "grub_repl_lag", Help: "Replication lag (leader seq - follower seq) per feed shard.", Type: "gauge"},
+		{Name: "grub_repl_state", Help: "Tailer state per feed shard (0 tailing, 1 syncing, 2 gone, 3 failed, 4 halted).", Type: "gauge"},
+	}
 	for _, fs := range feeds {
 		for _, ss := range fs.Shards {
-			label := fmt.Sprintf(`{feed="%s",shard="%d"}`, escapeLabel(fs.ID), ss.Shard)
-			seq = append(seq, fmt.Sprintf("grub_repl_seq%s %d", label, ss.Seq))
-			leaderSeq = append(leaderSeq, fmt.Sprintf("grub_repl_leader_seq%s %d", label, ss.LeaderSeq))
-			lag = append(lag, fmt.Sprintf("grub_repl_lag%s %d", label, ss.Lag))
-			state = append(state, fmt.Sprintf("grub_repl_state%s %d", label, replStateCode[ss.State]))
+			label := obs.Labels("feed", fs.ID, "shard", strconv.Itoa(ss.Shard))
+			out[0].Samples = append(out[0].Samples, obs.Sample{Labels: label, Value: float64(ss.Seq)})
+			out[1].Samples = append(out[1].Samples, obs.Sample{Labels: label, Value: float64(ss.LeaderSeq)})
+			out[2].Samples = append(out[2].Samples, obs.Sample{Labels: label, Value: float64(ss.Lag)})
+			out[3].Samples = append(out[3].Samples, obs.Sample{Labels: label, Value: float64(replStateCode[ss.State])})
 		}
 	}
-	write := func(name, help, typ string, samples []string) {
-		if len(samples) == 0 {
-			return
-		}
-		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		for _, s := range samples {
-			b.WriteString(s)
-			b.WriteByte('\n')
-		}
-	}
-	write("grub_repl_seq", "Follower's applied batch sequence per feed shard.", "gauge", seq)
-	write("grub_repl_leader_seq", "Leader's batch sequence as last observed, per feed shard.", "gauge", leaderSeq)
-	write("grub_repl_lag", "Replication lag (leader seq - follower seq) per feed shard.", "gauge", lag)
-	write("grub_repl_state", "Tailer state per feed shard (0 tailing, 1 syncing, 2 gone, 3 failed, 4 halted).", "gauge", state)
+	return out
 }

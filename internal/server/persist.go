@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"grub/internal/obs"
 	"grub/internal/shard"
 )
 
@@ -49,6 +50,8 @@ const manifestName = "feeds.json"
 // feed from opts.DataDir when persistence is enabled.
 func NewGatewayWithOptions(opts GatewayOptions) (*Gateway, error) {
 	g := &Gateway{opts: opts, feeds: make(map[string]*feedEntry)}
+	g.reg = obs.NewRegistry()
+	g.pipeline = obs.NewPipeline(g.reg)
 	if !g.persistent() {
 		return g, nil
 	}
@@ -61,7 +64,7 @@ func NewGatewayWithOptions(opts GatewayOptions) (*Gateway, error) {
 	}
 	for _, cfg := range m.Feeds {
 		entry := &feedEntry{cfg: cfg, dir: g.feedDir(cfg.ID)}
-		sf, err := newShardedFeed(cfg, g.persistOptions(entry.dir), opts.ReplRetain)
+		sf, err := newShardedFeed(cfg, g.persistOptions(entry.dir), opts.ReplRetain, g.pipeline.Feed(cfg.ID))
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("server: recover feed %q: %w", cfg.ID, err)

@@ -20,6 +20,7 @@ func startFollowerNode(t *testing.T, leaderURL string) (*Gateway, *repl.Follower
 	f := repl.NewFollower(repl.Options{
 		Leader: leaderURL,
 		Poll:   2 * time.Millisecond, Refresh: 10 * time.Millisecond,
+		Pipeline: fg.Pipeline(),
 	}, fg.ReplTarget())
 	srv := httptest.NewServer(NewHandlerConfig(fg, HandlerConfig{Follower: f}))
 	f.Start()

@@ -39,6 +39,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -47,6 +48,7 @@ import (
 	"grub/internal/chain"
 	"grub/internal/core"
 	"grub/internal/gas"
+	"grub/internal/obs"
 	"grub/internal/policy"
 	"grub/internal/query"
 	"grub/internal/shard"
@@ -173,7 +175,7 @@ func RestoreFeedFromConfig(cfg FeedConfig, snap *core.FeedSnapshot) (*core.Feed,
 // identically-configured feeds (each on its own chain) behind one
 // scatter-gather front. It is how the gateway hosts every in-memory feed.
 func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
-	return newShardedFeed(cfg, nil, 0)
+	return newShardedFeed(cfg, nil, 0, nil)
 }
 
 // newShardedFeed builds a feed's shard engine, durable when persist is
@@ -181,8 +183,9 @@ func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
 // recovered first). Every gateway feed publishes read views and keeps a
 // replication log: the authenticated read path (/feeds/{id}/get, /range,
 // /roots) and the log-shipping surface (/repl/*) are part of the serving
-// surface, not opt-ins — any gateway can lead followers.
-func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions, replRetain int) (*shard.ShardedFeed, error) {
+// surface, not opt-ins — any gateway can lead followers. stages wires the
+// feed's pipeline-stage latency histograms (nil disables stage timing).
+func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions, replRetain int, stages *obs.FeedStages) (*shard.ShardedFeed, error) {
 	if _, _, err := feedParts(cfg); err != nil {
 		return nil, err // reject bad configs before touching disk
 	}
@@ -197,6 +200,7 @@ func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions, replRetain in
 			Shards: cfg.Shards, RecordTrace: cfg.RecordTrace,
 			Views: true, Persist: persist,
 			Repl: true, ReplRetain: replRetain, Restore: restore,
+			Stages: stages,
 		},
 		func(int) (*core.Feed, error) { return NewFeed(cfg) },
 	)
@@ -233,6 +237,13 @@ type feedEntry struct {
 type Gateway struct {
 	opts GatewayOptions
 
+	// reg is the gateway's metrics registry; pipeline owns the per-feed,
+	// per-stage batch latency histograms registered on it. Both live for
+	// the gateway's lifetime (histograms survive feed deletion — series
+	// are cheap and scrape continuity matters more).
+	reg      *obs.Registry
+	pipeline *obs.Pipeline
+
 	// createMu serializes feed creation/removal so two creates of the same
 	// ID never race on one on-disk store directory.
 	createMu sync.Mutex
@@ -240,6 +251,15 @@ type Gateway struct {
 	feeds    map[string]*feedEntry
 	closed   bool
 }
+
+// Metrics returns the gateway's metrics registry (GET /metrics renders it).
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
+
+// Pipeline returns the gateway's per-feed stage-latency histograms. A
+// follower replicating into this gateway should observe its fetch/verify
+// stages here (grubd wires repl.Options.Pipeline to it) so one scrape
+// covers the whole node.
+func (g *Gateway) Pipeline() *obs.Pipeline { return g.pipeline }
 
 // NewGateway returns an empty in-memory gateway.
 func NewGateway() *Gateway {
@@ -276,7 +296,7 @@ func (g *Gateway) CreateFeed(cfg FeedConfig) error {
 			return err
 		}
 	}
-	sf, err := newShardedFeed(cfg, persist, g.opts.ReplRetain)
+	sf, err := newShardedFeed(cfg, persist, g.opts.ReplRetain, g.pipeline.Feed(cfg.ID))
 	if err != nil {
 		if g.persistent() {
 			g.writeManifestWithout(cfg.ID) // roll the reservation back
@@ -328,11 +348,19 @@ func wrapClosed(id string, err error) error {
 // batches on one shard are atomic per shard and batches on different shards
 // or feeds run in parallel.
 func (g *Gateway) Do(id string, ops []Op) ([]OpResult, error) {
+	return g.DoCtx(context.Background(), id, ops)
+}
+
+// DoCtx is Do with a context carrying observability state: a trace
+// attached via obs.WithTrace collects per-stage spans as the batch moves
+// through the shard pipeline (the HTTP layer attaches one per request
+// when slow-op logging or the X-Grub-Trace header is in play).
+func (g *Gateway) DoCtx(ctx context.Context, id string, ops []Op) ([]OpResult, error) {
 	sf, err := g.lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	results, err := sf.Do(ops)
+	results, err := sf.DoCtx(ctx, ops)
 	if err != nil {
 		return nil, wrapClosed(id, err)
 	}
@@ -401,6 +429,35 @@ func (g *Gateway) ShardStats(id string) ([]shard.ShardStat, error) {
 		return nil, wrapClosed(id, err)
 	}
 	return st.PerShard, nil
+}
+
+// ShardHealth names one unhealthy shard on the health surface
+// (GET /healthz): a shard that detected divergence and permanently
+// halted rather than fork.
+type ShardHealth struct {
+	Feed  string `json:"feed"`
+	Shard int    `json:"shard"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// Halted scans every feed for shards that refused to continue (a
+// replicated apply whose post-apply state disagreed with the leader's
+// anchor). The list is sorted by feed then shard; empty means healthy.
+func (g *Gateway) Halted() []ShardHealth {
+	var out []ShardHealth
+	for _, id := range g.Feeds() {
+		per, err := g.ShardStats(id)
+		if err != nil {
+			continue // closed mid-scan
+		}
+		for _, st := range per {
+			if st.Diverged != "" {
+				out = append(out, ShardHealth{Feed: id, Shard: st.Shard, State: "halted", Error: st.Diverged})
+			}
+		}
+	}
+	return out
 }
 
 // Trace returns the serialized op order executed so far: shard 0's

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"grub/internal/obs"
+)
+
+// SlowOpRecord is the JSON shape of one slow-batch log line (grubd's
+// -slow-ms): the batch's trace ID, feed, op count, total duration, and the
+// full per-stage span breakdown — where the batch actually spent its time,
+// shard by shard.
+type SlowOpRecord struct {
+	Time  string           `json:"time"`
+	Trace string           `json:"trace"`
+	Feed  string           `json:"feed"`
+	Ops   int              `json:"ops"`
+	DurMS float64          `json:"durMs"`
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+// slowLogger emits one JSON line per over-threshold write batch. A mutex
+// serializes writers so concurrent batches never interleave mid-line.
+type slowLogger struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	w         io.Writer
+}
+
+func newSlowLogger(threshold time.Duration, w io.Writer) *slowLogger {
+	if threshold <= 0 {
+		return nil
+	}
+	if w == nil {
+		w = os.Stderr
+	}
+	return &slowLogger{threshold: threshold, w: w}
+}
+
+// maybeLog writes the record if the batch crossed the threshold. Nil-safe.
+func (l *slowLogger) maybeLog(tr *obs.Trace, feed string, ops int, dur time.Duration) {
+	if l == nil || dur < l.threshold {
+		return
+	}
+	rec := SlowOpRecord{
+		Time:  time.Now().UTC().Format(time.RFC3339Nano),
+		Trace: tr.ID(),
+		Feed:  feed,
+		Ops:   ops,
+		DurMS: float64(dur.Microseconds()) / 1000,
+		Spans: tr.Spans(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.w.Write(append(line, '\n'))
+	l.mu.Unlock()
+}

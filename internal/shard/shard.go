@@ -25,14 +25,17 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grub/internal/core"
 	"grub/internal/gas"
 	"grub/internal/merkle"
+	"grub/internal/obs"
 	"grub/internal/query"
 	"grub/internal/repl"
 )
@@ -81,6 +84,12 @@ type Options struct {
 	// the build callback would, then install the snapshot state. Falls
 	// back to Persist.Restore when nil.
 	Restore func(shard int, snap *core.FeedSnapshot) (*core.Feed, error)
+	// Stages, when non-nil, receives per-stage batch latency
+	// observations (mailbox wait, WAL persist, apply, repl append, view
+	// publish) for every shard of this feed. The histograms are shared
+	// across shards — series are labeled by feed, with the shard index
+	// carried only on trace spans. Nil disables stage timing entirely.
+	Stages *obs.FeedStages
 }
 
 // ErrNotPersistent is returned by Snapshot on a feed without persistence.
@@ -159,6 +168,11 @@ type request struct {
 	entry *repl.Entry    // reqRepl
 	snap  *repl.Snapshot // reqReplReset
 	resp  chan response
+	// tr carries the batch's trace (nil for untraced requests); enq is
+	// the mailbox-enqueue instant, stamped only when the feed times
+	// stages or the batch is traced, and yields the mailbox-wait span.
+	tr  *obs.Trace
+	enq time.Time
 }
 
 type response struct {
@@ -197,6 +211,72 @@ type shardState struct {
 	// PersistStat.LastError in Stats and as the error of the next explicit
 	// Snapshot call.
 	persistErr error
+	// stages receives per-stage latency observations (nil disables).
+	stages *obs.FeedStages
+}
+
+// stageClock stamps successive pipeline stages of one batch onto the
+// shard's stage histograms and, when the batch is traced, its span
+// record. The zero value is inert; newStageClock arms it only when
+// there is somewhere to record to, so untimed feeds skip the clock
+// reads entirely.
+type stageClock struct {
+	stages *obs.FeedStages
+	tr     *obs.Trace
+	shard  int
+	start  time.Time
+	last   time.Time
+	on     bool
+}
+
+// newStageClock starts timing one batch on a shard worker. When the
+// request carries its enqueue instant, the elapsed mailbox wait is
+// recorded immediately.
+func newStageClock(st *shardState, req request, shard int) stageClock {
+	c := stageClock{stages: st.stages, tr: req.tr, shard: shard}
+	c.on = c.stages != nil || c.tr != nil
+	if !c.on {
+		return c
+	}
+	c.start = time.Now()
+	c.last = c.start
+	if !req.enq.IsZero() {
+		d := c.start.Sub(req.enq)
+		c.stages.GetMailbox().Observe(d.Seconds())
+		c.tr.AddSpan(obs.StageMailbox, shard, req.enq, d)
+	}
+	return c
+}
+
+// mark closes the current stage: the time since the previous mark (or
+// the clock's start) is recorded under stage on h and as a span.
+func (c *stageClock) mark(stage string, h *obs.Histogram) {
+	if !c.on {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(c.last)
+	h.Observe(d.Seconds())
+	c.tr.AddSpan(stage, c.shard, c.last, d)
+	c.last = now
+}
+
+// skip advances the clock without recording, so work with no dedicated
+// stage (e.g. auto-snapshot compaction) does not pollute the next one.
+func (c *stageClock) skip() {
+	if c.on {
+		c.last = time.Now()
+	}
+}
+
+// total records the time since the clock started under stage.
+func (c *stageClock) total(stage string, h *obs.Histogram) {
+	if !c.on {
+		return
+	}
+	d := time.Since(c.start)
+	h.Observe(d.Seconds())
+	c.tr.AddSpan(stage, c.shard, c.start, d)
 }
 
 // worker owns one shard's feed. Only its goroutine touches the feed;
@@ -237,12 +317,14 @@ func (st *shardState) anchor() (root merkle.Hash, count int, height uint64) {
 // commitBatch records an applied batch in the replication log (when
 // replicating) and publishes the shard's new read view. ops is the batch as
 // executed; seq is the shard's post-apply batch count.
-func (w *worker) commitBatch(st *shardState, ops []core.Op) {
+func (w *worker) commitBatch(st *shardState, ops []core.Op, clk *stageClock) {
 	if st.repl != nil {
 		root, count, height := st.anchor()
 		st.repl.append(repl.Entry{Seq: uint64(st.batches), Ops: ops, Root: root, Count: count, Height: height})
+		clk.mark(obs.StageReplAppend, clk.stages.GetReplAppend())
 	}
 	w.publishView(st)
+	clk.mark(obs.StagePublish, clk.stages.GetPublish())
 }
 
 // mailboxDepth buffers sub-batch sends so a scatter never stalls on one busy
@@ -300,7 +382,8 @@ func (w *worker) loop(st *shardState, record bool) {
 			}
 			req.resp <- response{stat: stat}
 		case reqRepl:
-			req.resp <- response{err: w.applyReplicated(st, req.entry, record)}
+			clk := newStageClock(st, req, w.idx)
+			req.resp <- response{err: w.applyReplicated(st, req.entry, record, &clk)}
 		case reqReplSnap:
 			snap, err := w.replSnapshot(st)
 			req.resp <- response{snap: snap, err: err}
@@ -341,6 +424,7 @@ func (w *worker) loop(st *shardState, record bool) {
 				req.resp <- response{err: st.diverged}
 				continue
 			}
+			clk := newStageClock(st, req, w.idx)
 			if st.persist != nil {
 				// Log-then-apply: the batch is durable before it
 				// executes, so recovery replays exactly the logged
@@ -349,8 +433,10 @@ func (w *worker) loop(st *shardState, record bool) {
 					req.resp <- response{err: err}
 					continue
 				}
+				clk.mark(obs.StagePersist, clk.stages.GetPersist())
 			}
 			results := core.ApplyOps(st.feed, req.ops)
+			clk.mark(obs.StageApply, clk.stages.GetApply())
 			st.ops += len(req.ops)
 			st.batches++
 			if record {
@@ -361,10 +447,11 @@ func (w *worker) loop(st *shardState, record bool) {
 				if serr := st.persist.maybeSnapshot(st); serr != nil {
 					st.persistErr = serr
 				}
+				clk.skip() // compaction has no stage of its own
 			}
 			// Publish before acking so a client that saw its batch
 			// complete reads its own writes from the next view.
-			w.commitBatch(st, req.ops)
+			w.commitBatch(st, req.ops, &clk)
 			req.resp <- response{results: results}
 		}
 	}
@@ -378,7 +465,7 @@ func (w *worker) loop(st *shardState, record bool) {
 // refuses to fork rather than serving unverified state. (A crash between
 // the log append and the rollback can leave the refused batch durable; the
 // next replicated apply after recovery re-detects the divergence.)
-func (w *worker) applyReplicated(st *shardState, e *repl.Entry, record bool) error {
+func (w *worker) applyReplicated(st *shardState, e *repl.Entry, record bool, clk *stageClock) error {
 	if st.repl == nil {
 		return ErrNotReplicating
 	}
@@ -392,8 +479,10 @@ func (w *worker) applyReplicated(st *shardState, e *repl.Entry, record bool) err
 		if err := st.persist.appendBatch(e.Ops); err != nil {
 			return err
 		}
+		clk.mark(obs.StagePersist, clk.stages.GetPersist())
 	}
 	results := core.ApplyOps(st.feed, e.Ops)
+	clk.mark(obs.StageApply, clk.stages.GetApply())
 	st.ops += len(e.Ops)
 	st.batches++
 	if record {
@@ -416,12 +505,16 @@ func (w *worker) applyReplicated(st *shardState, e *repl.Entry, record bool) err
 		return div
 	}
 	st.repl.append(*e)
+	clk.mark(obs.StageReplAppend, clk.stages.GetReplAppend())
 	if st.persist != nil {
 		if serr := st.persist.maybeSnapshot(st); serr != nil {
 			st.persistErr = serr
 		}
+		clk.skip()
 	}
 	w.publishView(st)
+	clk.mark(obs.StagePublish, clk.stages.GetPublish())
+	clk.total(obs.StageFollowerApply, clk.stages.GetFollowerApply())
 	return nil
 }
 
@@ -501,6 +594,8 @@ type ShardedFeed struct {
 	// Options.Repl), index-aligned with workers. The logs stay readable
 	// after Close, like the engine views.
 	replLogs []*replLog
+	// stages mirrors Options.Stages (nil disables stage timing).
+	stages *obs.FeedStages
 }
 
 // Engine returns the feed's snapshot-isolated query engine, or nil when the
@@ -519,9 +614,10 @@ func New(opts Options, build func(shard int) (*core.Feed, error)) (*ShardedFeed,
 	if n < 1 {
 		n = 1
 	}
-	s := &ShardedFeed{workers: make([]*worker, n), replLogs: make([]*replLog, n)}
+	s := &ShardedFeed{workers: make([]*worker, n), replLogs: make([]*replLog, n), stages: opts.Stages}
 	if opts.Views {
 		s.engine = query.NewEngine(n)
+		s.engine.SetProofHistogram(opts.Stages.GetProofBuild())
 	}
 	restore := opts.Restore
 	if restore == nil && opts.Persist != nil {
@@ -557,7 +653,7 @@ func newShardState(opts Options, idx int, build func(int) (*core.Feed, error)) (
 		if err != nil {
 			return nil, err
 		}
-		st := &shardState{feed: f, base: f.FeedGas()}
+		st := &shardState{feed: f, base: f.FeedGas(), stages: opts.Stages}
 		if opts.Repl {
 			st.repl = newReplLog(opts.ReplRetain)
 		}
@@ -572,6 +668,7 @@ func newShardState(opts Options, idx int, build func(int) (*core.Feed, error)) (
 		p.db.Close()
 		return nil, err
 	}
+	st.stages = opts.Stages
 	return st, nil
 }
 
@@ -603,12 +700,27 @@ func (s *ShardedFeed) recv(w *worker, resp chan response) (response, error) {
 // sub-batches concurrently, and merges the results back into the input
 // order. The error is non-nil only when the feed is closed.
 func (s *ShardedFeed) Do(ops []core.Op) ([]core.OpResult, error) {
+	return s.DoCtx(context.Background(), ops)
+}
+
+// DoCtx is Do with a context carrying observability state: when the
+// context holds an obs.Trace (see obs.WithTrace), every pipeline stage
+// the batch crosses is recorded as a span on it, and when the feed was
+// built with Options.Stages the mailbox wait is timed per sub-batch.
+// The context does not cancel the batch — shard workers never abandon
+// a batch mid-apply.
+func (s *ShardedFeed) DoCtx(ctx context.Context, ops []core.Op) ([]core.OpResult, error) {
+	tr := obs.TraceFrom(ctx)
+	var enq time.Time
+	if s.stages != nil || tr != nil {
+		enq = time.Now()
+	}
 	n := len(s.workers)
 	s.batches.Add(1)
 	if n == 1 {
 		w := s.workers[0]
 		resp := make(chan response, 1)
-		if err := s.send(w, request{kind: reqOps, ops: ops, resp: resp}); err != nil {
+		if err := s.send(w, request{kind: reqOps, ops: ops, resp: resp, tr: tr, enq: enq}); err != nil {
 			return nil, err
 		}
 		r, err := s.recv(w, resp)
@@ -632,7 +744,7 @@ func (s *ShardedFeed) Do(ops []core.Op) ([]core.OpResult, error) {
 			continue
 		}
 		resps[sh] = make(chan response, 1)
-		if err := s.send(s.workers[sh], request{kind: reqOps, ops: subOps[sh], resp: resps[sh]}); err != nil {
+		if err := s.send(s.workers[sh], request{kind: reqOps, ops: subOps[sh], resp: resps[sh], tr: tr, enq: enq}); err != nil {
 			return nil, err
 		}
 	}

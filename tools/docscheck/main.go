@@ -1,10 +1,13 @@
-// Command docscheck is the CI docs gate. It makes two guarantees:
+// Command docscheck is the CI docs gate. It makes three guarantees:
 //
 //  1. Link check: every relative markdown link in README.md and docs/*.md
 //     points at a file that exists (and, for #fragment links, at a heading
 //     that exists, using GitHub's anchor slugging).
 //  2. Route guard: every HTTP route registered in internal/server/http.go
 //     is documented — docs/API.md must mention each route string verbatim.
+//  3. Metrics lint: every metric name (a "grub_..." string literal in
+//     non-test Go source under internal/ and cmd/) is documented — a newly
+//     registered metric must land in docs/API.md before it ships.
 //
 // It prints each problem and exits non-zero if any were found. Run it from
 // the repository root (CI does), or pass the root as the only argument.
@@ -54,6 +57,11 @@ func run(root string) ([]string, error) {
 		problems = append(problems, ps...)
 	}
 	ps, err := checkRoutes(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, ps...)
+	ps, err = checkMetrics(root)
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +185,59 @@ func checkRoutes(root string) ([]string, error) {
 		route := m[1]
 		if !strings.Contains(apiText, route) {
 			problems = append(problems, fmt.Sprintf("docs/API.md: route %q is registered but not documented", route))
+		}
+	}
+	return problems, nil
+}
+
+// metricRe matches metric-name string literals, e.g. "grub_feed_ops_total".
+var metricRe = regexp.MustCompile(`"(grub_[a-z][a-z0-9_]*)"`)
+
+// checkMetrics asserts docs/API.md mentions every metric name that appears
+// as a string literal in non-test Go source under internal/ and cmd/.
+// Histogram families expand to _bucket/_sum/_count series at exposition
+// time; documenting the family name satisfies the check.
+func checkMetrics(root string) ([]string, error) {
+	names := map[string]bool{}
+	for _, dir := range []string{"internal", "cmd"} {
+		base := filepath.Join(root, dir)
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricRe.FindAllStringSubmatch(string(src), -1) {
+				names[m[1]] = true
+			}
+			return nil
+		})
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+	}
+	api, err := os.ReadFile(filepath.Join(root, "docs", "API.md"))
+	if err != nil {
+		return nil, fmt.Errorf("read docs/API.md: %w", err)
+	}
+	apiText := string(api)
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	var problems []string
+	for _, name := range sorted {
+		if !strings.Contains(apiText, name) {
+			problems = append(problems, fmt.Sprintf("docs/API.md: metric %q is registered but not documented", name))
 		}
 	}
 	return problems, nil

@@ -72,6 +72,46 @@ func TestCatchesBrokenLink(t *testing.T) {
 	}
 }
 
+// TestCatchesUndocumentedMetric pins that the metrics lint flags a
+// registered "grub_..." metric name missing from docs/API.md, tolerates
+// documented ones, and ignores _test.go files.
+func TestCatchesUndocumentedMetric(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("README.md", "")
+	write("docs/API.md", "# API\n\n`GET /feeds` and `grub_documented_total`.\n")
+	write("internal/server/http.go",
+		"package server\nfunc x() {\n\tmux.HandleFunc(\"GET /feeds\", nil)\n}\n")
+	write("internal/server/metrics.go",
+		"package server\nconst a = \"grub_documented_total\"\nconst b = \"grub_missing_total\"\n")
+	write("internal/server/metrics_test.go",
+		"package server\nconst c = \"grub_testonly_total\"\n")
+
+	problems, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, `metric "grub_missing_total"`) {
+		t.Errorf("problems missing grub_missing_total:\n%s", joined)
+	}
+	if strings.Contains(joined, "grub_documented_total") || strings.Contains(joined, "grub_testonly_total") {
+		t.Errorf("false positive:\n%s", joined)
+	}
+	if len(problems) != 1 {
+		t.Errorf("got %d problems, want 1:\n%s", len(problems), joined)
+	}
+}
+
 // TestSlugify pins the GitHub anchor rules the link check relies on.
 func TestSlugify(t *testing.T) {
 	for in, want := range map[string]string{
