@@ -80,3 +80,8 @@ func BenchmarkReplExperiment(b *testing.B) { runExperiment(b, "repl") }
 // BenchmarkPublishExperiment runs the view-publication scaling microbench:
 // per-batch publish cost at 1k vs 100k records must stay within 2x.
 func BenchmarkPublishExperiment(b *testing.B) { runExperiment(b, "publish") }
+
+// BenchmarkKVStoreExperiment runs the storage-engine microbench: bloom-filter
+// miss speedup, record-cache hit throughput, and write-batch latency with
+// background vs inline compaction.
+func BenchmarkKVStoreExperiment(b *testing.B) { runExperiment(b, "kvstore") }

@@ -104,6 +104,7 @@ var Registry = []Experiment{
 	{ID: "query", Title: "Authenticated read path: verified-read vs worker-path throughput, proof bytes/op", Run: RunQuery},
 	{ID: "repl", Title: "Replicated gateway: follower catch-up MB/s, verified reads at 1/2/4 followers", Run: RunRepl},
 	{ID: "publish", Title: "View-publication cost scaling: per-batch publish at 1k vs 100k records", Run: RunPublish},
+	{ID: "kvstore", Title: "Storage engine: bloom miss speedup, record-cache hits, background-compaction write stalls", Run: RunKV},
 }
 
 // ByID resolves an experiment.

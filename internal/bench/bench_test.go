@@ -36,6 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
 		"gateway", "shard", "persist", "query", "repl", "publish",
+		"kvstore",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -228,6 +229,45 @@ func TestPublishSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "publish") {
 		t.Errorf("publish report incomplete:\n%s", buf.String())
+	}
+}
+
+// TestKVStoreSmoke runs the storage-engine experiment and pins its shape:
+// bloom filters must speed up point misses even at smoke scale, the record
+// cache must serve the hot working set, and both compaction modes must
+// report write throughput and batch-latency tails. (The full-scale ≥5x
+// speedup bar is checked against BENCH_full.json, where table counts are
+// large enough to resolve it.)
+func TestKVStoreSmoke(t *testing.T) {
+	e, err := ByID("kvstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	var buf bytes.Buffer
+	cfg := Config{W: &buf, Scale: smokeScale, Seed: 7,
+		Metric: func(name string, v float64) { metrics[name] = v }}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if sp := metrics["bloom.missSpeedup"]; sp <= 1 {
+		t.Errorf("bloom miss speedup %.2fx, want > 1x: %v", sp, metrics)
+	}
+	if hr := metrics["cache.hitRate"]; hr <= 0.5 {
+		t.Errorf("cache hit rate %.2f, want > 0.5: %v", hr, metrics)
+	}
+	for _, name := range []string{
+		"bloomOn.missOpsPerSec", "bloomOff.missOpsPerSec",
+		"cache.hitOpsPerSec",
+		"writeSync.opsPerSec", "writeSync.maxBatchMs",
+		"writeBg.opsPerSec", "writeBg.maxBatchMs",
+	} {
+		if metrics[name] <= 0 {
+			t.Errorf("metric %s missing or zero: %v", name, metrics)
+		}
+	}
+	if !strings.Contains(buf.String(), "bloom") {
+		t.Errorf("kvstore report incomplete:\n%s", buf.String())
 	}
 }
 

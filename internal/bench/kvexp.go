@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"grub/internal/kvstore"
+	"grub/internal/obs"
+)
+
+// RunKV measures what the storage engine's read and write accelerators buy:
+//
+//   - point-miss throughput with bloom filters on vs off, over a store whose
+//     tables all span the full keyspace (the worst case: every miss must
+//     consult every table);
+//   - hot point-read throughput through the record cache;
+//   - sustained-write batch latency with background compaction vs the
+//     synchronous fallback — the background engine must never stall a write
+//     behind a multi-table merge.
+func RunKV(cfg Config) error {
+	cfg = cfg.withDefaults()
+	keys := cfg.scaled(200_000, 5_000)
+	reads := cfg.scaled(300_000, 20_000)
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+	val := []byte("value-payload-16b")
+
+	// Size the memtable so the store settles at roughly 40 level-0 tables;
+	// inserting in shuffled order makes each table span the whole keyspace,
+	// so a miss cannot be rejected by key-range checks alone.
+	memBytes := keys * 44 / 40
+	if memBytes < 16<<10 {
+		memBytes = 16 << 10
+	}
+
+	buildStore := func(noBloom bool) (*kvstore.DB, string, error) {
+		dir, err := os.MkdirTemp("", "grub-kv-bench")
+		if err != nil {
+			return nil, "", err
+		}
+		db, err := kvstore.Open(dir, kvstore.Options{
+			MemtableBytes:               memBytes,
+			L0Compact:                   1 << 30, // keep every flushed table
+			DisableBackgroundCompaction: true,
+			DisableBloom:                noBloom,
+			DisableCache:                true, // isolate the filter effect
+		})
+		if err != nil {
+			return nil, dir, err
+		}
+		rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+		b := kvstore.NewBatch()
+		for _, i := range rng.Perm(keys) {
+			b.Put(key(2*i), val) // even indices present, odd absent
+			if b.Len() >= 128 {
+				if err := db.Write(b); err != nil {
+					return nil, dir, err
+				}
+				b.Reset()
+			}
+		}
+		if err := db.Write(b); err != nil {
+			return nil, dir, err
+		}
+		if err := db.Flush(); err != nil {
+			return nil, dir, err
+		}
+		return db, dir, nil
+	}
+
+	measureMisses := func(db *kvstore.DB) (float64, error) {
+		rng := rand.New(rand.NewSource(int64(cfg.Seed) + 1))
+		start := time.Now()
+		for n := 0; n < reads; n++ {
+			if _, err := db.Get(key(2*rng.Intn(keys) + 1)); !errors.Is(err, kvstore.ErrNotFound) {
+				return 0, fmt.Errorf("kv bench: miss probe returned %v", err)
+			}
+		}
+		return float64(reads) / time.Since(start).Seconds(), nil
+	}
+
+	fmt.Fprintf(cfg.W, "kvstore: %d keys across ~%d resident tables, %d point reads per phase\n\n",
+		keys, keys*44/memBytes+1, reads)
+	fmt.Fprintf(cfg.W, "%-28s %14s\n", "phase", "ops/sec")
+
+	var missOn, missOff float64
+	var bloomDir string
+	for _, noBloom := range []bool{false, true} {
+		db, dir, err := buildStore(noBloom)
+		if err != nil {
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+			return err
+		}
+		ops, err := measureMisses(db)
+		db.Close()
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		if noBloom {
+			missOff = ops
+			os.RemoveAll(dir)
+			fmt.Fprintf(cfg.W, "%-28s %14.0f\n", "point miss, bloom off", ops)
+			cfg.metric("bloomOff.missOpsPerSec", ops)
+		} else {
+			missOn = ops
+			bloomDir = dir // reused below for the cache phase
+			fmt.Fprintf(cfg.W, "%-28s %14.0f\n", "point miss, bloom on", ops)
+			cfg.metric("bloomOn.missOpsPerSec", ops)
+		}
+	}
+	defer os.RemoveAll(bloomDir)
+	speedup := missOn / missOff
+	fmt.Fprintf(cfg.W, "\nbloom miss speedup: %.1fx\n", speedup)
+	cfg.metric("bloom.missSpeedup", speedup)
+
+	// Hot reads through the record cache: reopen the bloom store with the
+	// cache enabled and hammer a small working set.
+	met := kvstore.NewMetrics(obs.NewRegistry())
+	db, err := kvstore.Open(bloomDir, kvstore.Options{
+		MemtableBytes:               memBytes,
+		L0Compact:                   1 << 30,
+		DisableBackgroundCompaction: true,
+		Metrics:                     met,
+	})
+	if err != nil {
+		return err
+	}
+	working := 1000
+	if working > keys {
+		working = keys
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 2))
+	start := time.Now()
+	for n := 0; n < reads; n++ {
+		if _, err := db.Get(key(2 * rng.Intn(working))); err != nil {
+			db.Close()
+			return fmt.Errorf("kv bench: hot read: %w", err)
+		}
+	}
+	hotOps := float64(reads) / time.Since(start).Seconds()
+	db.Close()
+	hits, misses := met.CacheHits.Value(), met.CacheMisses.Value()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = hits / (hits + misses)
+	}
+	fmt.Fprintf(cfg.W, "%-28s %14.0f  (cache hit rate %.3f)\n", "hot reads, cache on", hotOps, hitRate)
+	cfg.metric("cache.hitOpsPerSec", hotOps)
+	cfg.metric("cache.hitRate", hitRate)
+
+	// Sustained writes: per-batch latency with compaction in the background
+	// vs inline. The background engine's worst batch must stay at flush
+	// cost; the synchronous engine pays whole merges on the write path.
+	runWrites := func(background bool) (opsPerSec, maxMs, meanMs, compactions float64, err error) {
+		dir, err := os.MkdirTemp("", "grub-kv-bench-w")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		wmet := kvstore.NewMetrics(obs.NewRegistry())
+		wdb, err := kvstore.Open(dir, kvstore.Options{
+			MemtableBytes:               128 << 10,
+			L0Compact:                   4,
+			TableTargetBytes:            256 << 10,
+			LevelBaseBytes:              512 << 10,
+			DisableBackgroundCompaction: !background,
+			Metrics:                     wmet,
+		})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer wdb.Close()
+		const batchOps = 64
+		batches := cfg.scaled(2000, 100)
+		wval := make([]byte, 64)
+		wrng := rand.New(rand.NewSource(int64(cfg.Seed) + 3))
+		var total, max time.Duration
+		startW := time.Now()
+		for bi := 0; bi < batches; bi++ {
+			b := kvstore.NewBatch()
+			for o := 0; o < batchOps; o++ {
+				b.Put(key(wrng.Intn(keys)), wval)
+			}
+			t0 := time.Now()
+			if err := wdb.Write(b); err != nil {
+				return 0, 0, 0, 0, err
+			}
+			d := time.Since(t0)
+			total += d
+			if d > max {
+				max = d
+			}
+		}
+		elapsed := time.Since(startW)
+		if err := wdb.Close(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		return float64(batches*batchOps) / elapsed.Seconds(),
+			float64(max.Microseconds()) / 1000,
+			float64(total.Microseconds()) / 1000 / float64(batches),
+			wmet.Compactions.Value(), nil
+	}
+
+	fmt.Fprintf(cfg.W, "\n%-28s %14s %12s %12s %12s\n", "write mode", "ops/sec", "mean batch", "max batch", "compactions")
+	for _, mode := range []struct {
+		name string
+		bg   bool
+	}{{"inline compaction", false}, {"background compaction", true}} {
+		ops, maxMs, meanMs, compactions, err := runWrites(mode.bg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "%-28s %14.0f %10.2fms %10.2fms %12.0f\n", mode.name, ops, meanMs, maxMs, compactions)
+		tag := "writeSync"
+		if mode.bg {
+			tag = "writeBg"
+		}
+		cfg.metric(tag+".opsPerSec", ops)
+		cfg.metric(tag+".maxBatchMs", maxMs)
+		cfg.metric(tag+".meanBatchMs", meanMs)
+		cfg.metric(tag+".compactions", compactions)
+	}
+	fmt.Fprintln(cfg.W, "\n(miss phases disable the cache to isolate the filters; the write phases")
+	fmt.Fprintln(cfg.W, " use small tables so several compactions fire within the run)")
+	return nil
+}

@@ -1,0 +1,108 @@
+package kvstore
+
+import "fmt"
+
+// Bloom filter over the distinct user keys of one SSTable, in the LevelDB
+// style: k probe positions derived from a single 64-bit hash by double
+// hashing. A table whose filter answers "no" provably holds zero versions of
+// the key, so a point miss touches none of the table's blocks.
+//
+// Encoded form (persisted in the table between the index and the footer):
+//
+//	bit array | k (1B)
+//
+// The hot path (bloomMayContain) allocates nothing: it hashes the probe key
+// and tests bits directly against the encoded byte slice.
+
+const (
+	// defaultBloomBitsPerKey is ~1% false positives at k=6.
+	defaultBloomBitsPerKey = 10
+	maxBloomProbes         = 30
+)
+
+// bloomHash is a 64-bit FNV-1a over the key. It is inlined-friendly and
+// allocation-free; the two 32-bit halves seed the double-hashing probe
+// sequence.
+func bloomHash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// buildBloom returns the encoded filter for the given distinct keys.
+// bitsPerKey <= 0 selects the default. An empty key set still produces a
+// valid (tiny) filter that answers "no" for everything.
+func buildBloom(keys [][]byte, bitsPerKey int) []byte {
+	if bitsPerKey <= 0 {
+		bitsPerKey = defaultBloomBitsPerKey
+	}
+	// k = bitsPerKey * ln(2), clamped.
+	k := bitsPerKey * 69 / 100
+	if k < 1 {
+		k = 1
+	}
+	if k > maxBloomProbes {
+		k = maxBloomProbes
+	}
+	bits := len(keys) * bitsPerKey
+	if bits < 64 {
+		bits = 64 // tiny tables still get a real filter
+	}
+	nBytes := (bits + 7) / 8
+	bits = nBytes * 8
+	filter := make([]byte, nBytes+1)
+	filter[nBytes] = byte(k)
+	for _, key := range keys {
+		h := bloomHash(key)
+		delta := h>>33 | h<<31 // rotate-17: the second hash of the pair
+		for i := 0; i < k; i++ {
+			pos := h % uint64(bits)
+			filter[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return filter
+}
+
+// decodeBloom validates an encoded filter. The returned slice aliases buf.
+func decodeBloom(buf []byte) ([]byte, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("kvstore: bloom filter too short (%d bytes)", len(buf))
+	}
+	k := buf[len(buf)-1]
+	if k < 1 || k > maxBloomProbes {
+		return nil, fmt.Errorf("kvstore: bloom filter probe count %d out of range", k)
+	}
+	return buf, nil
+}
+
+// bloomMayContain reports whether the encoded filter may contain key. A nil
+// or malformed filter conservatively answers true (reads stay correct, only
+// slower). Allocation-free.
+func bloomMayContain(filter []byte, key []byte) bool {
+	if len(filter) < 2 {
+		return true
+	}
+	k := filter[len(filter)-1]
+	if k < 1 || k > maxBloomProbes {
+		return true
+	}
+	bits := uint64(len(filter)-1) * 8
+	h := bloomHash(key)
+	delta := h>>33 | h<<31
+	for i := byte(0); i < k; i++ {
+		pos := h % bits
+		if filter[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}

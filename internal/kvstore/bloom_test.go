@@ -1,0 +1,131 @@
+package kvstore
+
+import (
+	"grub/internal/obs"
+
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestBloomNoFalseNegatives: every key that went in must test positive —
+// the filter's one hard guarantee.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var keys [][]byte
+	for i := 0; i < 10_000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%d-%d", i, rng.Int63())))
+	}
+	filter := buildBloom(keys, defaultBloomBitsPerKey)
+	for _, k := range keys {
+		if !bloomMayContain(filter, k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate builds a filter over 100k keys and measures the
+// false-positive rate against 100k disjoint probes. At 10 bits/key the
+// theoretical rate is ~0.9%; the measured rate must stay within 2x of the
+// 1% design target.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 100_000
+	keys := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("member-%d", i)))
+	}
+	filter := buildBloom(keys, defaultBloomBitsPerKey)
+	fp := 0
+	for i := 0; i < n; i++ {
+		if bloomMayContain(filter, []byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / n
+	const target = 0.01
+	if rate > 2*target {
+		t.Fatalf("false-positive rate %.4f exceeds 2x the %.2f target", rate, target)
+	}
+	if rate == 0 {
+		t.Fatalf("zero false positives over %d probes: filter suspiciously wide", n)
+	}
+	t.Logf("measured FPR %.4f over %d probes (%d bits/key)", rate, n, defaultBloomBitsPerKey)
+}
+
+// TestBloomHotPathZeroAlloc pins the read-side contract: consulting the
+// filter allocates nothing. Every point read crosses this path, so a single
+// allocation here would dominate lookup cost.
+func TestBloomHotPathZeroAlloc(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%04d", i)))
+	}
+	filter := buildBloom(keys, defaultBloomBitsPerKey)
+	present := []byte("key-0500")
+	absent := []byte("nope-9999")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		bloomMayContain(filter, present)
+		bloomMayContain(filter, absent)
+	}); allocs != 0 {
+		t.Fatalf("bloomMayContain allocates %.1f times per pair of probes, want 0", allocs)
+	}
+}
+
+// TestBloomMalformedInputsSafe: nil and malformed filters fail open (may
+// contain) rather than panicking or filtering valid keys.
+func TestBloomMalformedInputsSafe(t *testing.T) {
+	for _, filter := range [][]byte{nil, {}, {0xff}, {0x01, 0x00}, {0x01, 0x02, 99}} {
+		if !bloomMayContain(filter, []byte("anything")) {
+			t.Fatalf("malformed filter %v filtered a key (must fail open)", filter)
+		}
+	}
+	if _, err := decodeBloom([]byte{0x01}); err == nil {
+		t.Fatal("decodeBloom accepted a 1-byte filter")
+	}
+	if _, err := decodeBloom([]byte{0x01, 0x02, 0x00}); err == nil {
+		t.Fatal("decodeBloom accepted k=0")
+	}
+	if _, err := decodeBloom([]byte{0x01, 0x02, 31}); err == nil {
+		t.Fatal("decodeBloom accepted k=31")
+	}
+}
+
+// TestBloomEndToEndFiltering: a DB with disjoint flushed tables answers
+// misses without touching the tables that cannot hold the key, visible
+// through the metrics.
+func TestBloomEndToEndFiltering(t *testing.T) {
+	met := NewMetrics(obs.NewRegistry())
+	db, err := Open(t.TempDir(), Options{
+		DisableBackgroundCompaction: true,
+		L0Compact:                   100, // keep the flushed tables separate
+		Metrics:                     met,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	// Every round writes a disjoint key set whose RANGE spans the whole
+	// keyspace, so a missing-key probe cannot be rejected by the range check
+	// alone — it must cross each table's bloom filter.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("key-%04d-r%d", i, round)
+			if err := db.Put([]byte(k), []byte("v")); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%04d-zz", i))); err != ErrNotFound {
+			t.Fatalf("unexpected hit: %v", err)
+		}
+	}
+	// 100 misses x 8 overlapping tables: nearly every probe must have been
+	// answered by a filter, not a table scan.
+	if got := met.BloomFiltered.Value(); got < 700 {
+		t.Fatalf("bloom filters rejected only %.0f probes, expected ~800", got)
+	}
+}

@@ -1,0 +1,110 @@
+package kvstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// recordCache is a byte-capacity-bounded LRU cache over decoded table
+// records, shared by every SSTable of a DB. It caches the newest version a
+// table holds for a user key — tables are immutable, so a cached entry never
+// goes stale; entries for compacted-away tables simply age out.
+//
+// All methods are safe for concurrent use and nil-safe (a nil cache caches
+// nothing), so tables opened outside a DB (tests, fuzzing) need no wiring.
+type recordCache struct {
+	mu   sync.Mutex
+	cap  int
+	size int
+	ll   *list.List // front = most recently used
+	m    map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	num  uint64 // table file number
+	user string
+}
+
+// cachedRecord is the newest version of one user key within one table.
+type cachedRecord struct {
+	seq  uint64
+	kind entryKind
+	val  []byte // owned by the cache
+}
+
+type cacheEntry struct {
+	key cacheKey
+	rec cachedRecord
+}
+
+// cacheEntryOverhead approximates per-entry bookkeeping bytes (list element,
+// map slot, struct headers) charged against the capacity.
+const cacheEntryOverhead = 64
+
+func newRecordCache(capBytes int) *recordCache {
+	if capBytes <= 0 {
+		return nil
+	}
+	return &recordCache{cap: capBytes, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+func (c *recordCache) get(num uint64, user []byte) (cachedRecord, bool) {
+	if c == nil {
+		return cachedRecord{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The map lookup allocates nothing: string(user) in a map index
+	// expression does not escape.
+	el, ok := c.m[cacheKey{num: num, user: string(user)}]
+	if !ok {
+		return cachedRecord{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rec, true
+}
+
+// put inserts (or refreshes) the newest version of user within table num.
+// The value bytes are copied; the cache owns its memory.
+func (c *recordCache) put(num uint64, user []byte, seq uint64, kind entryKind, val []byte) {
+	if c == nil {
+		return
+	}
+	rec := cachedRecord{seq: seq, kind: kind, val: append([]byte(nil), val...)}
+	key := cacheKey{num: num, user: string(user)}
+	cost := len(key.user) + len(rec.val) + cacheEntryOverhead
+	if cost > c.cap {
+		return // larger than the whole cache: not worth evicting everything
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		// Same immutable table, same key: the record is identical. Refresh
+		// recency only.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, rec: rec})
+	c.m[key] = el
+	c.size += cost
+	for c.size > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, ent.key)
+		c.size -= len(ent.key.user) + len(ent.rec.val) + cacheEntryOverhead
+	}
+}
+
+// lenEntries returns the number of cached records (tests and stats).
+func (c *recordCache) lenEntries() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

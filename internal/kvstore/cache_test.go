@@ -1,0 +1,175 @@
+package kvstore
+
+import (
+	"grub/internal/obs"
+
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheEvictionBound: inserting far more than the capacity keeps the
+// cache's accounted size at or under the cap, evicting from the LRU end.
+func TestCacheEvictionBound(t *testing.T) {
+	const capBytes = 4 << 10
+	c := newRecordCache(capBytes)
+	for i := 0; i < 1000; i++ {
+		c.put(1, []byte(fmt.Sprintf("key-%04d", i)), uint64(i), kindValue, []byte("value-payload"))
+	}
+	if c.size > capBytes {
+		t.Fatalf("cache size %d exceeds capacity %d", c.size, capBytes)
+	}
+	if c.lenEntries() == 0 || c.lenEntries() >= 1000 {
+		t.Fatalf("expected partial retention, have %d entries", c.lenEntries())
+	}
+	// The most recently inserted key must have survived; the first must not.
+	if _, ok := c.get(1, []byte("key-0999")); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.get(1, []byte("key-0000")); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+}
+
+// TestCacheLRURecency: a get refreshes recency and protects the entry from
+// the next eviction wave.
+func TestCacheLRURecency(t *testing.T) {
+	// Room for roughly 10 small entries.
+	c := newRecordCache(10 * (8 + 5 + cacheEntryOverhead))
+	for i := 0; i < 10; i++ {
+		c.put(1, []byte(fmt.Sprintf("key-%04d", i)), 1, kindValue, []byte("vvvvv"))
+	}
+	c.get(1, []byte("key-0000")) // refresh the oldest
+	for i := 10; i < 15; i++ {
+		c.put(1, []byte(fmt.Sprintf("key-%04d", i)), 1, kindValue, []byte("vvvvv"))
+	}
+	if _, ok := c.get(1, []byte("key-0000")); !ok {
+		t.Fatal("recently-used entry evicted before colder ones")
+	}
+	if _, ok := c.get(1, []byte("key-0001")); ok {
+		t.Fatal("cold entry survived while newer ones were evicted")
+	}
+}
+
+// TestCacheRecordIdentity: the cached record carries the exact seq/kind/value
+// and does not alias caller memory.
+func TestCacheRecordIdentity(t *testing.T) {
+	c := newRecordCache(1 << 20)
+	val := []byte("mutable")
+	c.put(7, []byte("k"), 42, kindDelete, val)
+	val[0] = 'X' // caller reuses its buffer
+	rec, ok := c.get(7, []byte("k"))
+	if !ok {
+		t.Fatal("missing entry")
+	}
+	if rec.seq != 42 || rec.kind != kindDelete || string(rec.val) != "mutable" {
+		t.Fatalf("record mangled: seq=%d kind=%d val=%q", rec.seq, rec.kind, rec.val)
+	}
+	// Same (table, key) is immutable: a second put must not replace it.
+	c.put(7, []byte("k"), 42, kindDelete, []byte("other"))
+	if rec, _ := c.get(7, []byte("k")); string(rec.val) != "mutable" {
+		t.Fatalf("immutable entry replaced: %q", rec.val)
+	}
+	// Same key in a different table is a distinct entry.
+	c.put(8, []byte("k"), 43, kindValue, []byte("newer"))
+	if rec, _ := c.get(8, []byte("k")); string(rec.val) != "newer" {
+		t.Fatalf("per-table keying broken: %q", rec.val)
+	}
+}
+
+// TestCacheOversizedValueSkipped: an entry larger than the whole cache is
+// not admitted (it would evict everything for one record).
+func TestCacheOversizedValueSkipped(t *testing.T) {
+	c := newRecordCache(256)
+	c.put(1, []byte("big"), 1, kindValue, make([]byte, 1024))
+	if c.lenEntries() != 0 {
+		t.Fatal("oversized entry admitted")
+	}
+}
+
+// TestCacheNilSafe: a nil cache (caching disabled) absorbs every operation.
+func TestCacheNilSafe(t *testing.T) {
+	var c *recordCache
+	c.put(1, []byte("k"), 1, kindValue, []byte("v"))
+	if _, ok := c.get(1, []byte("k")); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.lenEntries() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if newRecordCache(0) != nil {
+		t.Fatal("zero-capacity cache should be nil")
+	}
+}
+
+// TestCacheConcurrentReaders hammers one cache from concurrent readers and
+// writers; run under -race this is the eviction-vs-read safety proof.
+func TestCacheConcurrentReaders(t *testing.T) {
+	c := newRecordCache(8 << 10) // small: constant eviction churn
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.put(uint64(w), []byte(fmt.Sprintf("key-%d-%d", w, i%200)), uint64(i), kindValue, []byte("payload"))
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if rec, ok := c.get(uint64(r), []byte(fmt.Sprintf("key-%d-%d", r, i%200))); ok {
+					if string(rec.val) != "payload" {
+						panic("torn cache read")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.size > 8<<10 {
+		t.Fatalf("cache exceeded capacity under concurrency: %d", c.size)
+	}
+}
+
+// TestCacheServesReadsEndToEnd: repeated point reads of flushed data hit the
+// cache, visible through the metrics.
+func TestCacheServesReadsEndToEnd(t *testing.T) {
+	met := NewMetrics(obs.NewRegistry())
+	db, err := Open(t.TempDir(), Options{
+		DisableBackgroundCompaction: true,
+		Metrics:                     met,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 100; i++ {
+			v, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+			if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+				t.Fatalf("Get: %q, %v", v, err)
+			}
+		}
+	}
+	hits, misses := met.CacheHits.Value(), met.CacheMisses.Value()
+	if misses == 0 {
+		t.Fatal("expected cold misses on the first pass")
+	}
+	if hits < misses {
+		t.Fatalf("cache ineffective: %.0f hits vs %.0f misses", hits, misses)
+	}
+}

@@ -95,7 +95,9 @@ func decodeEntry(buf []byte) (key []byte, seq uint64, kind entryKind, val []byte
 		return nil, 0, 0, nil, 0, fmt.Errorf("kvstore: corrupt entry: key length")
 	}
 	off += m
-	if off+int(klen) > len(buf) {
+	// Compare lengths in uint64 space: a huge klen must not wrap negative
+	// when truncated to int.
+	if klen > uint64(len(buf)-off) {
 		return nil, 0, 0, nil, 0, fmt.Errorf("kvstore: corrupt entry: key bytes")
 	}
 	key = buf[off : off+int(klen)]
@@ -118,7 +120,7 @@ func decodeEntry(buf []byte) (key []byte, seq uint64, kind entryKind, val []byte
 		return nil, 0, 0, nil, 0, fmt.Errorf("kvstore: corrupt entry: value length")
 	}
 	off += m
-	if off+int(vlen) > len(buf) {
+	if vlen > uint64(len(buf)-off) {
 		return nil, 0, 0, nil, 0, fmt.Errorf("kvstore: corrupt entry: value bytes")
 	}
 	val = buf[off : off+int(vlen)]

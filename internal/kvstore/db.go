@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrNotFound is returned by Get when a key is absent or deleted.
@@ -27,6 +28,35 @@ type Options struct {
 	// SyncWrites forces an fsync per write batch. Defaults to false
 	// (the simulation workloads issue millions of writes).
 	SyncWrites bool
+	// BloomBitsPerKey sizes each table's bloom filter (<= 0 uses the
+	// default of 10 bits/key, ~1% false positives).
+	BloomBitsPerKey int
+	// DisableBloom skips building and consulting bloom filters (benchmarks
+	// use it to measure what the filters buy).
+	DisableBloom bool
+	// CacheBytes bounds the shared record cache (0 uses the 4 MiB default).
+	CacheBytes int
+	// DisableCache turns the record cache off entirely.
+	DisableCache bool
+	// TableTargetBytes is the size at which compaction splits its output
+	// into a new table. Defaults to 2 MiB.
+	TableTargetBytes int
+	// LevelBaseBytes caps level 1; each deeper level holds 8x more before
+	// it triggers a compaction into the next. Defaults to 8 MiB.
+	LevelBaseBytes int
+	// DisableBackgroundCompaction keeps all compaction explicit (Compact /
+	// Checkpoint calls). Deterministic tests use it; production stores
+	// leave it off so compaction never blocks the write path.
+	DisableBackgroundCompaction bool
+	// Metrics receives the engine's telemetry (see NewMetrics); nil means
+	// no-op counters.
+	Metrics *Metrics
+	// compactionHook, when set (crash-point tests), runs at the named
+	// compaction stages: "picked" (inputs chosen, nothing written), "built"
+	// (output tables durable, manifest still old) and "swapped" (manifest
+	// installed, input files not yet deleted). Set before Open; never
+	// mutated after.
+	compactionHook func(stage string)
 }
 
 func (o Options) withDefaults() Options {
@@ -36,32 +66,71 @@ func (o Options) withDefaults() Options {
 	if o.L0Compact <= 0 {
 		o.L0Compact = 4
 	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = defaultBloomBitsPerKey
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 4 << 20
+	}
+	if o.TableTargetBytes <= 0 {
+		o.TableTargetBytes = 2 << 20
+	}
+	if o.LevelBaseBytes <= 0 {
+		o.LevelBaseBytes = 8 << 20
+	}
+	if o.Metrics == nil {
+		o.Metrics = &Metrics{}
+	}
 	return o
 }
 
 // DB is an LSM-tree key-value store. It is safe for concurrent use.
 type DB struct {
-	mu      sync.RWMutex
-	dir     string
-	opts    Options
-	mem     *memtable
-	wal     *wal
-	seq     uint64     // last assigned sequence number
-	l0      []*sstable // newest first
-	l1      []*sstable // sorted by smallest key, non-overlapping
-	nextNum uint64
+	mu   sync.RWMutex
+	dir  string
+	opts Options
+	mem  *memtable
+	wal  *wal
+	seq  uint64 // last assigned sequence number
+	// levels[0] holds overlapping flush outputs, newest first; every deeper
+	// level is sorted by smallest key and non-overlapping within itself.
+	levels  [][]*sstable
+	pins    map[uint64]int // pinned snapshot seq -> refcount
+	nextNum atomic.Uint64
+	cache   *recordCache
+	met     *Metrics
 	closed  bool
+
+	// Background compaction. compactMu serializes compactions (the worker
+	// and explicit Compact calls); the worker wakes on compactCh and exits
+	// when stop closes. compactErr records the first background failure.
+	compactMu  sync.Mutex
+	compactCh  chan struct{}
+	stop       chan struct{}
+	wg         sync.WaitGroup
+	bgStarted  bool
+	compactErr error
 }
 
 // Open opens (creating if necessary) a store in dir and replays any WAL left
-// by a previous process.
+// by a previous process. Table files not referenced by the manifest — debris
+// of a crash between building tables and installing the manifest — are
+// removed; their contents are either still in the WAL (unflushed) or in the
+// manifest-referenced tables a crashed compaction was replacing.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: mkdir: %w", err)
 	}
-	db := &DB{dir: dir, opts: opts, mem: newMemtable(), nextNum: 1}
+	db := &DB{dir: dir, opts: opts, mem: newMemtable(), met: opts.Metrics, pins: make(map[uint64]int)}
+	db.nextNum.Store(1)
+	if !opts.DisableCache {
+		db.cache = newRecordCache(opts.CacheBytes)
+	}
 	if err := db.loadTables(); err != nil {
+		return nil, err
+	}
+	if err := db.removeOrphans(); err != nil {
 		return nil, err
 	}
 	// Replay WAL into the fresh memtable. A torn tail (crash mid-write) is
@@ -87,10 +156,30 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.wal = w
+	if !opts.DisableBackgroundCompaction {
+		db.compactCh = make(chan struct{}, 1)
+		db.stop = make(chan struct{})
+		db.bgStarted = true
+		db.wg.Add(1)
+		go db.compactor()
+		db.signalCompaction() // catch up on work a previous process left
+	}
 	return db, nil
 }
 
 func (db *DB) walPath() string { return filepath.Join(db.dir, "wal.log") }
+
+// openTable opens a table file and attaches the DB's shared cache and
+// metrics.
+func (db *DB) openTable(path string, num uint64, level int) (*sstable, error) {
+	t, err := openSSTable(path, num, level)
+	if err != nil {
+		return nil, err
+	}
+	t.cache = db.cache
+	t.met = db.met
+	return t, nil
+}
 
 // loadTables scans the directory for SSTables and a CURRENT manifest
 // describing their levels.
@@ -113,37 +202,76 @@ func (db *DB) loadTables() error {
 		if _, err := fmt.Sscanf(line, "%d %d %d", &num, &level, &maxSeq); err != nil {
 			return fmt.Errorf("kvstore: manifest line %q: %w", line, err)
 		}
-		t, err := openSSTable(sstFileName(db.dir, num), num, level)
+		if level < 0 {
+			return fmt.Errorf("kvstore: manifest line %q: negative level", line)
+		}
+		t, err := db.openTable(sstFileName(db.dir, num), num, level)
 		if err != nil {
 			return err
 		}
-		if level == 0 {
-			db.l0 = append(db.l0, t)
-		} else {
-			db.l1 = append(db.l1, t)
+		for len(db.levels) <= level {
+			db.levels = append(db.levels, nil)
 		}
-		if num >= db.nextNum {
-			db.nextNum = num + 1
+		db.levels[level] = append(db.levels[level], t)
+		if num >= db.nextNum.Load() {
+			db.nextNum.Store(num + 1)
 		}
 		if maxSeq > db.seq {
 			db.seq = maxSeq
 		}
 	}
-	// l0 newest first (higher file number = newer).
-	sort.Slice(db.l0, func(i, j int) bool { return db.l0[i].num > db.l0[j].num })
-	sort.Slice(db.l1, func(i, j int) bool {
-		return compareBytes(db.l1[i].smallest, db.l1[j].smallest) < 0
-	})
+	db.sortLevelsLocked()
 	return nil
 }
 
-func (db *DB) writeManifest() error {
-	var b strings.Builder
-	for _, t := range db.l0 {
-		fmt.Fprintf(&b, "%d 0 %d\n", t.num, db.seq)
+// sortLevelsLocked restores the per-level ordering invariants: L0 newest
+// first (higher file number = newer), deeper levels by smallest key.
+func (db *DB) sortLevelsLocked() {
+	if len(db.levels) == 0 {
+		return
 	}
-	for _, t := range db.l1 {
-		fmt.Fprintf(&b, "%d 1 %d\n", t.num, db.seq)
+	sort.Slice(db.levels[0], func(i, j int) bool { return db.levels[0][i].num > db.levels[0][j].num })
+	for lvl := 1; lvl < len(db.levels); lvl++ {
+		tables := db.levels[lvl]
+		sort.Slice(tables, func(i, j int) bool {
+			return compareBytes(tables[i].smallest, tables[j].smallest) < 0
+		})
+	}
+}
+
+// removeOrphans deletes table files the manifest does not reference and
+// stray temp files.
+func (db *DB) removeOrphans() error {
+	live := make(map[string]bool)
+	for _, level := range db.levels {
+		for _, t := range level {
+			live[filepath.Base(sstFileName(db.dir, t.num))] = true
+		}
+	}
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return fmt.Errorf("kvstore: scan dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		orphan := (strings.HasSuffix(name, ".sst") && !live[name]) ||
+			strings.HasSuffix(name, ".tmp")
+		if !orphan {
+			continue
+		}
+		if err := os.Remove(filepath.Join(db.dir, name)); err != nil {
+			return fmt.Errorf("kvstore: remove orphan %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) writeManifestLocked() error {
+	var b strings.Builder
+	for lvl, tables := range db.levels {
+		for _, t := range tables {
+			fmt.Fprintf(&b, "%d %d %d\n", t.num, lvl, db.seq)
+		}
 	}
 	tmp := filepath.Join(db.dir, "CURRENT.tmp")
 	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
@@ -211,7 +339,8 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	return db.getLocked(key, db.seq)
 }
 
-// GetAt returns the value of key as of the given snapshot.
+// GetAt returns the value of key as of the given snapshot. Snapshots that
+// must stay readable across compactions should come from AcquireSnapshot.
 func (db *DB) GetAt(key []byte, snap Snapshot) ([]byte, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -228,27 +357,32 @@ func (db *DB) getLocked(key []byte, maxSeq uint64) ([]byte, error) {
 		}
 		return append([]byte(nil), v...), nil
 	}
-	for _, t := range db.l0 {
-		if !t.overlaps(key, key) {
-			continue
-		}
-		if v, deleted, ok := t.get(key, maxSeq); ok {
-			if deleted {
-				return nil, ErrNotFound
+	if len(db.levels) > 0 {
+		for _, t := range db.levels[0] {
+			if !t.overlaps(key, key) {
+				continue
 			}
-			return append([]byte(nil), v...), nil
+			if v, deleted, ok := t.get(key, maxSeq); ok {
+				if deleted {
+					return nil, ErrNotFound
+				}
+				return append([]byte(nil), v...), nil
+			}
 		}
 	}
-	// L1 tables are non-overlapping: binary search for the candidate.
-	i := sort.Search(len(db.l1), func(i int) bool {
-		return compareBytes(db.l1[i].largest, key) >= 0
-	})
-	if i < len(db.l1) && db.l1[i].overlaps(key, key) {
-		if v, deleted, ok := db.l1[i].get(key, maxSeq); ok {
-			if deleted {
-				return nil, ErrNotFound
+	// Deeper levels are non-overlapping: binary search for the candidate.
+	for lvl := 1; lvl < len(db.levels); lvl++ {
+		tables := db.levels[lvl]
+		i := sort.Search(len(tables), func(i int) bool {
+			return compareBytes(tables[i].largest, key) >= 0
+		})
+		if i < len(tables) && tables[i].overlaps(key, key) {
+			if v, deleted, ok := tables[i].get(key, maxSeq); ok {
+				if deleted {
+					return nil, ErrNotFound
+				}
+				return append([]byte(nil), v...), nil
 			}
-			return append([]byte(nil), v...), nil
 		}
 	}
 	return nil, ErrNotFound
@@ -269,11 +403,49 @@ func (db *DB) Has(key []byte) (bool, error) {
 // Snapshot is a read view at a fixed sequence number.
 type Snapshot uint64
 
-// GetSnapshot captures the current sequence point.
+// GetSnapshot captures the current sequence point. The view stays exact
+// until the next compaction folds older versions away; use AcquireSnapshot
+// for a view that compaction must preserve.
 func (db *DB) GetSnapshot() Snapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return Snapshot(db.seq)
+}
+
+// AcquireSnapshot captures and pins the current sequence point: compaction
+// retains whatever versions the snapshot needs until ReleaseSnapshot drops
+// the pin. Acquire/Release pairs may nest and interleave freely.
+func (db *DB) AcquireSnapshot() Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pins[db.seq]++
+	return Snapshot(db.seq)
+}
+
+// ReleaseSnapshot unpins a snapshot returned by AcquireSnapshot. Releasing
+// a snapshot that is not pinned is a no-op.
+func (db *DB) ReleaseSnapshot(s Snapshot) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch n := db.pins[uint64(s)]; {
+	case n > 1:
+		db.pins[uint64(s)] = n - 1
+	case n == 1:
+		delete(db.pins, uint64(s))
+	}
+}
+
+// keepSeqLocked returns the sequence floor compaction must preserve exact
+// reads at: the oldest pinned snapshot, or the current sequence when
+// nothing is pinned.
+func (db *DB) keepSeqLocked() uint64 {
+	min := db.seq
+	for s := range db.pins {
+		if s < min {
+			min = s
+		}
+	}
+	return min
 }
 
 // NewIterator returns an iterator over all live keys at the current snapshot.
@@ -305,13 +477,11 @@ func (db *DB) iteratorLocked(maxSeq uint64) *Iterator {
 	rank := 0
 	sources = append(sources, &mergeSource{it: db.mem.iterator(), rank: rank})
 	rank++
-	for _, t := range db.l0 {
-		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
-		rank++
-	}
-	for _, t := range db.l1 {
-		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
-		rank++
+	for _, level := range db.levels {
+		for _, t := range level {
+			sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
+			rank++
+		}
 	}
 	return newIterator(sources, maxSeq)
 }
@@ -326,6 +496,11 @@ func (db *DB) Flush() error {
 	return db.flushLocked()
 }
 
+// flushLocked persists the memtable as a level-0 table. Ordering is
+// crash-critical: the table is durable and referenced by the manifest
+// BEFORE the WAL rotates. A crash between those steps replays WAL entries
+// that also live in the new table — a harmless shadow — whereas the reverse
+// order would lose the flush entirely.
 func (db *DB) flushLocked() error {
 	if db.mem.count == 0 {
 		return nil
@@ -336,19 +511,24 @@ func (db *DB) flushLocked() error {
 		ik, v := it.Entry()
 		entries = append(entries, sstEntry{key: ik, val: v})
 	}
-	num := db.nextNum
-	db.nextNum++
+	num := db.nextNum.Add(1) - 1
 	path := sstFileName(db.dir, num)
-	if err := writeSSTable(path, entries); err != nil {
+	if err := writeSSTable(path, entries, db.opts.BloomBitsPerKey, db.opts.DisableBloom); err != nil {
 		return err
 	}
-	t, err := openSSTable(path, num, 0)
+	t, err := db.openTable(path, num, 0)
 	if err != nil {
 		return err
 	}
-	db.l0 = append([]*sstable{t}, db.l0...)
+	if len(db.levels) == 0 {
+		db.levels = append(db.levels, nil)
+	}
+	db.levels[0] = append([]*sstable{t}, db.levels[0]...)
 	db.mem = newMemtable()
-	// Truncate the WAL: its contents are now durable in the SSTable.
+	if err := db.writeManifestLocked(); err != nil {
+		return err
+	}
+	// Rotate the WAL: its contents are now durable in the SSTable.
 	if err := db.wal.close(); err != nil {
 		return err
 	}
@@ -360,75 +540,15 @@ func (db *DB) flushLocked() error {
 		return err
 	}
 	db.wal = w
-	if err := db.writeManifest(); err != nil {
-		return err
-	}
-	if len(db.l0) >= db.opts.L0Compact {
-		return db.compactLocked()
-	}
-	return nil
-}
-
-// Compact merges all level-0 tables with level 1, dropping shadowed versions
-// and tombstones.
-func (db *DB) Compact() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if err := db.flushLocked(); err != nil {
-		return err
-	}
-	return db.compactLocked()
-}
-
-func (db *DB) compactLocked() error {
-	if len(db.l0) == 0 && len(db.l1) <= 1 {
+	db.met.Flushes.Inc()
+	if db.bgStarted {
+		if len(db.levels[0]) >= db.opts.L0Compact {
+			db.signalCompaction()
+		}
 		return nil
 	}
-	var sources []*mergeSource
-	rank := 0
-	for _, t := range db.l0 {
-		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
-		rank++
-	}
-	for _, t := range db.l1 {
-		sources = append(sources, &mergeSource{it: t.iterator(), rank: rank})
-		rank++
-	}
-	old := append(append([]*sstable(nil), db.l0...), db.l1...)
-
-	merged := newIterator(sources, db.seq)
-	var entries []sstEntry
-	for ; merged.Valid(); merged.Next() {
-		entries = append(entries, sstEntry{
-			key: internalKey{user: merged.Key(), seq: db.seq, kind: kindValue},
-			val: merged.Value(),
-		})
-	}
-	db.l0 = nil
-	db.l1 = nil
-	if len(entries) > 0 {
-		num := db.nextNum
-		db.nextNum++
-		path := sstFileName(db.dir, num)
-		if err := writeSSTable(path, entries); err != nil {
-			return err
-		}
-		t, err := openSSTable(path, num, 1)
-		if err != nil {
-			return err
-		}
-		db.l1 = []*sstable{t}
-	}
-	if err := db.writeManifest(); err != nil {
-		return err
-	}
-	for _, t := range old {
-		if err := os.Remove(sstFileName(db.dir, t.num)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("kvstore: remove old table: %w", err)
-		}
+	if len(db.levels[0]) >= db.opts.L0Compact {
+		return db.compactAllLocked()
 	}
 	return nil
 }
@@ -443,15 +563,30 @@ func (db *DB) Len() int {
 	return n
 }
 
-// Close flushes and closes the store.
+// CompactionError reports the first background-compaction failure, if any.
+// The store keeps serving reads and writes after one (the log and manifest
+// stay consistent); the error is a health signal.
+func (db *DB) CompactionError() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.compactErr
+}
+
+// Close flushes in-flight background work and closes the store.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
-	return db.wal.close()
+	err := db.wal.close()
+	db.mu.Unlock()
+	if db.bgStarted {
+		close(db.stop)
+		db.wg.Wait()
+	}
+	return err
 }
 
 // Batch is an ordered set of writes applied atomically.

@@ -1,0 +1,155 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fuzz targets for the storage engine's durable formats. The contract under
+// test: arbitrarily corrupted or truncated bytes must produce an error at
+// open — never a panic, and never a table that later serves wrong values.
+// parseSSTable front-loads all validation precisely so these hold.
+
+// fuzzTableBytes builds a small valid table and returns its raw bytes —
+// the seed the fuzzer mutates from.
+func fuzzTableBytes(tb testing.TB, bloom bool) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	var entries []sstEntry
+	seq := uint64(100)
+	for i := 0; i < 40; i++ {
+		user := []byte(fmt.Sprintf("key-%03d", i))
+		kind := kindValue
+		if i%7 == 0 {
+			kind = kindDelete
+		}
+		entries = append(entries, sstEntry{
+			key: internalKey{user: user, seq: seq, kind: kind},
+			val: []byte(fmt.Sprintf("value-%d", i)),
+		})
+		if i%3 == 0 { // second, older version of some keys
+			entries = append(entries, sstEntry{
+				key: internalKey{user: user, seq: seq - 50, kind: kindValue},
+				val: []byte("old"),
+			})
+		}
+		seq++
+	}
+	path := filepath.Join(dir, "seed.sst")
+	if err := writeSSTable(path, entries, defaultBloomBitsPerKey, !bloom); err != nil {
+		tb.Fatalf("write seed table: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatalf("read seed table: %v", err)
+	}
+	return raw
+}
+
+func FuzzSSTableOpen(f *testing.F) {
+	seedV2 := fuzzTableBytes(f, true)
+	seedV1NoBloom := fuzzTableBytes(f, false)
+	f.Add(seedV2)
+	f.Add(seedV1NoBloom)
+	// Truncations at interesting boundaries.
+	for _, n := range []int{0, 1, 7, len(seedV2) / 2, len(seedV2) - 1, len(seedV2) - footerV2Size, len(seedV2) - footerV2Size + 4} {
+		if n >= 0 && n <= len(seedV2) {
+			f.Add(seedV2[:n])
+		}
+	}
+	// Single-byte corruptions in each region: entries, index, bloom, footer.
+	for _, off := range []int{3, len(seedV2) / 2, len(seedV2) - footerV2Size + 1, len(seedV2) - 9} {
+		mut := append([]byte(nil), seedV2...)
+		mut[off] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := parseSSTable(data, 1, 0)
+		if err != nil {
+			return // rejected: the only acceptable failure mode
+		}
+		// Accepted tables must be fully servable: iterate everything in
+		// strict order and point-read every key without panicking.
+		it := tab.iterator()
+		n := 0
+		var prev internalKey
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			ik, _ := it.Entry()
+			if n > 0 && compareInternal(prev, ik) >= 0 {
+				t.Fatalf("accepted table iterates out of order")
+			}
+			prev = internalKey{user: append([]byte(nil), ik.user...), seq: ik.seq, kind: ik.kind}
+			if _, _, ok := tab.get(ik.user, ^uint64(0)); !ok {
+				t.Fatalf("accepted table misses its own key %q", ik.user)
+			}
+			it2 := tab.iterator()
+			it2.Seek(ik.user)
+			if !it2.Valid() {
+				t.Fatalf("Seek(%q) exhausted on accepted table", ik.user)
+			}
+			if got, _ := it2.Entry(); !bytes.Equal(got.user, ik.user) {
+				t.Fatalf("Seek(%q) landed on %q", ik.user, got.user)
+			}
+			n++
+		}
+		if n != tab.count {
+			t.Fatalf("iterated %d entries, footer claims %d", n, tab.count)
+		}
+	})
+}
+
+func FuzzBloomDecode(f *testing.F) {
+	keys := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma-longer-key")}
+	f.Add(buildBloom(keys, 10))
+	f.Add(buildBloom(nil, 10))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0x00})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 31})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		filter, err := decodeBloom(data)
+		if err != nil {
+			return
+		}
+		// A decoded filter must answer membership queries without panicking,
+		// for any probe key including empty and binary ones.
+		for _, probe := range [][]byte{nil, {}, []byte("alpha"), {0x00, 0xff, 0x7f}, bytes.Repeat([]byte("x"), 100)} {
+			bloomMayContain(filter, probe)
+		}
+	})
+}
+
+// TestFuzzSeedsParse keeps the fuzz seeds honest in a plain `go test` run:
+// the valid seeds must parse, the corrupt ones must be rejected.
+func TestFuzzSeedsParse(t *testing.T) {
+	seed := fuzzTableBytes(t, true)
+	if _, err := parseSSTable(seed, 1, 0); err != nil {
+		t.Fatalf("valid v2 seed rejected: %v", err)
+	}
+	noBloom := fuzzTableBytes(t, false)
+	if _, err := parseSSTable(noBloom, 1, 0); err != nil {
+		t.Fatalf("valid bloomless seed rejected: %v", err)
+	}
+	for cut := 0; cut < len(seed); cut += 13 {
+		if _, err := parseSSTable(seed[:cut], 1, 0); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for off := 0; off < len(seed); off += 11 {
+		mut := append([]byte(nil), seed...)
+		mut[off] ^= 0x55
+		tab, err := parseSSTable(mut, 1, 0)
+		if err != nil {
+			continue
+		}
+		// A flip the CRC cannot see (e.g. inside the footer's own CRC field
+		// region is covered; nothing here should be accepted silently except
+		// a flip that produces another fully-consistent table, which a
+		// single XOR cannot).
+		_ = tab
+		t.Fatalf("corruption at offset %d accepted", off)
+	}
+}

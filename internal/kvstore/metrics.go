@@ -1,0 +1,39 @@
+package kvstore
+
+import "grub/internal/obs"
+
+// Metrics is the engine's telemetry bundle. Every field is an obs counter,
+// and obs counters are nil-safe, so a zero Metrics (or a nil *Metrics on
+// Options) costs nothing on the hot paths. The gateway registers one bundle
+// on its Prometheus registry and shares it across every per-shard store, so
+// the exported series aggregate the whole process's storage work.
+type Metrics struct {
+	// CacheHits / CacheMisses count record-cache lookups on table reads.
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
+	// BloomFiltered counts point lookups a table's bloom filter rejected
+	// without touching data; BloomFalsePositives counts lookups the filter
+	// let through that then found nothing in the table.
+	BloomFiltered       *obs.Counter
+	BloomFalsePositives *obs.Counter
+	// Flushes counts memtable flushes; Compactions counts finished
+	// compactions; CompactionBytes totals the bytes written by them.
+	Flushes         *obs.Counter
+	Compactions     *obs.Counter
+	CompactionBytes *obs.Counter
+}
+
+// NewMetrics registers the engine's metric families on r and returns the
+// bundle. Registration is idempotent: calling it twice on the same registry
+// yields handles onto the same underlying series.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		CacheHits:           r.NewCounter("grub_kv_cache_hits_total", "Storage record-cache hits."),
+		CacheMisses:         r.NewCounter("grub_kv_cache_misses_total", "Storage record-cache misses."),
+		BloomFiltered:       r.NewCounter("grub_kv_bloom_filtered_total", "Point lookups rejected by a table bloom filter without touching data."),
+		BloomFalsePositives: r.NewCounter("grub_kv_bloom_false_positives_total", "Bloom filter passes that found nothing in the table."),
+		Flushes:             r.NewCounter("grub_kv_flushes_total", "Memtable flushes to level-0 tables."),
+		Compactions:         r.NewCounter("grub_kv_compactions_total", "Finished table compactions."),
+		CompactionBytes:     r.NewCounter("grub_kv_compaction_bytes_total", "Bytes written by table compactions."),
+	}
+}

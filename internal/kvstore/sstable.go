@@ -8,21 +8,27 @@ import (
 	"sort"
 )
 
-// SSTable layout (single data region + sparse index + footer):
+// SSTable layout, version 2 (data + sparse index + bloom filter + footer):
 //
 //	entries...                 (serialized with appendEntry, internal-key order)
 //	index:                     repeated { varint(len key) | key | offset (8B) }
-//	footer:                    indexOffset (8B) | indexCount (4B) |
-//	                           entryCount (4B) | crc32(data+index) (4B) | magic (8B)
+//	bloom:                     encoded filter over the distinct user keys
+//	footer:                    indexOffset (8B) | bloomOffset (8B) |
+//	                           indexCount (4B) | entryCount (4B) |
+//	                           crc32(data+index+bloom) (4B) | magic (8B)
 //
 // The sparse index holds the first user key of every indexInterval-th entry,
 // so point lookups binary-search the index and then scan at most
-// indexInterval entries.
+// indexInterval entries — and only after the bloom filter said the key may
+// be present at all. Version-1 tables (no bloom, 28-byte footer) are still
+// readable; they simply have no filter.
 
 const (
 	sstMagic      = 0x4752754253535431 // "GRuBSST1"
+	sstMagic2     = 0x4752754253535432 // "GRuBSST2"
 	indexInterval = 16
-	footerSize    = 8 + 4 + 4 + 4 + 8
+	footerV1Size  = 8 + 4 + 4 + 4 + 8
+	footerV2Size  = 8 + 8 + 4 + 4 + 4 + 8
 )
 
 // sstEntry is a decoded table entry held in memory during builds and merges.
@@ -34,31 +40,44 @@ type sstEntry struct {
 // sstable is an open, immutable table file fully resident in memory.
 // Tables in the GRuB experiments are small (at most a few MiB); holding them
 // resident keeps reads deterministic and simple. The on-disk format is still
-// honored so that reopening a store works.
+// honored so that reopening a store works. cache and met are shared DB-wide
+// state attached after open; both are nil-safe, so standalone tables (tests,
+// fuzzing) work unwired.
 type sstable struct {
 	num      uint64 // file number
 	level    int
 	data     []byte   // raw entry region
 	offsets  []int    // index: entry offsets into data (sparse)
 	firstKey [][]byte // index: user key at each offset
+	filter   []byte   // encoded bloom filter ("" for v1 tables)
 	count    int      // number of entries
+	bytes    int      // on-disk size
 	smallest []byte   // first user key in the table
 	largest  []byte   // last user key in the table
+	cache    *recordCache
+	met      *Metrics
 }
 
 func sstFileName(dir string, num uint64) string {
 	return fmt.Sprintf("%s/%06d.sst", dir, num)
 }
 
-// writeSSTable serializes entries (already in internal-key order) to path.
-func writeSSTable(path string, entries []sstEntry) error {
+// writeSSTable serializes entries (already in internal-key order) to path,
+// building a bloom filter over the distinct user keys. bloomBits is the
+// filter's bits-per-key (<= 0 uses the default; see Options.DisableBloom for
+// turning filters off).
+func writeSSTable(path string, entries []sstEntry, bloomBits int, noBloom bool) error {
 	var data []byte
 	var idxOffsets []int
 	var idxKeys [][]byte
+	var distinct [][]byte
 	for i, e := range entries {
 		if i%indexInterval == 0 {
 			idxOffsets = append(idxOffsets, len(data))
 			idxKeys = append(idxKeys, e.key.user)
+		}
+		if i == 0 || compareBytes(entries[i-1].key.user, e.key.user) != 0 {
+			distinct = append(distinct, e.key.user)
 		}
 		data = appendEntry(data, e.key.user, e.key.seq, e.key.kind, e.val)
 	}
@@ -70,13 +89,18 @@ func writeSSTable(path string, entries []sstEntry) error {
 		binary.LittleEndian.PutUint64(off[:], uint64(idxOffsets[i]))
 		data = append(data, off[:]...)
 	}
+	bloomOffset := len(data)
+	if !noBloom {
+		data = append(data, buildBloom(distinct, bloomBits)...)
+	}
 	sum := crc32.ChecksumIEEE(data)
-	var footer [footerSize]byte
+	var footer [footerV2Size]byte
 	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOffset))
-	binary.LittleEndian.PutUint32(footer[8:12], uint32(len(idxKeys)))
-	binary.LittleEndian.PutUint32(footer[12:16], uint32(len(entries)))
-	binary.LittleEndian.PutUint32(footer[16:20], sum)
-	binary.LittleEndian.PutUint64(footer[20:28], sstMagic)
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(bloomOffset))
+	binary.LittleEndian.PutUint32(footer[16:20], uint32(len(idxKeys)))
+	binary.LittleEndian.PutUint32(footer[20:24], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(footer[24:28], sum)
+	binary.LittleEndian.PutUint64(footer[28:36], sstMagic2)
 	data = append(data, footer[:]...)
 
 	tmp := path + ".tmp"
@@ -89,68 +113,175 @@ func writeSSTable(path string, entries []sstEntry) error {
 	return nil
 }
 
-// openSSTable reads and validates the table at path.
+// openSSTable reads and validates the table at path: footer magic, a CRC
+// over the whole body, index sanity (in-bounds, monotonic offsets), bloom
+// decoding, and a full decode pass that must yield exactly the footer's
+// entry count in strict internal-key order. A table that passes cannot
+// panic or serve wrong bytes later: every read path walks structures this
+// validation covered.
 func openSSTable(path string, num uint64, level int) (*sstable, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open sstable: %w", err)
 	}
-	if len(raw) < footerSize {
-		return nil, fmt.Errorf("kvstore: sstable %s too short", path)
+	t, err := parseSSTable(raw, num, level)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: sstable %s: %w", path, err)
 	}
-	footer := raw[len(raw)-footerSize:]
-	if binary.LittleEndian.Uint64(footer[20:28]) != sstMagic {
-		return nil, fmt.Errorf("kvstore: sstable %s bad magic", path)
+	return t, nil
+}
+
+// parseSSTable validates raw table bytes (the fuzz entry point).
+func parseSSTable(raw []byte, num uint64, level int) (*sstable, error) {
+	if len(raw) < footerV1Size {
+		return nil, fmt.Errorf("too short (%d bytes)", len(raw))
 	}
-	indexOffset := int(binary.LittleEndian.Uint64(footer[0:8]))
-	idxCount := int(binary.LittleEndian.Uint32(footer[8:12]))
-	entryCount := int(binary.LittleEndian.Uint32(footer[12:16]))
-	wantSum := binary.LittleEndian.Uint32(footer[16:20])
-	body := raw[:len(raw)-footerSize]
+	var (
+		indexOffset, bloomOffset int
+		idxCount, entryCount     int
+		wantSum                  uint32
+		body                     []byte
+	)
+	switch binary.LittleEndian.Uint64(raw[len(raw)-8:]) {
+	case sstMagic2:
+		if len(raw) < footerV2Size {
+			return nil, fmt.Errorf("truncated v2 footer")
+		}
+		footer := raw[len(raw)-footerV2Size:]
+		indexOffset = int(binary.LittleEndian.Uint64(footer[0:8]))
+		bloomOffset = int(binary.LittleEndian.Uint64(footer[8:16]))
+		idxCount = int(binary.LittleEndian.Uint32(footer[16:20]))
+		entryCount = int(binary.LittleEndian.Uint32(footer[20:24]))
+		wantSum = binary.LittleEndian.Uint32(footer[24:28])
+		body = raw[:len(raw)-footerV2Size]
+	case sstMagic:
+		footer := raw[len(raw)-footerV1Size:]
+		indexOffset = int(binary.LittleEndian.Uint64(footer[0:8]))
+		idxCount = int(binary.LittleEndian.Uint32(footer[8:12]))
+		entryCount = int(binary.LittleEndian.Uint32(footer[12:16]))
+		wantSum = binary.LittleEndian.Uint32(footer[16:20])
+		body = raw[:len(raw)-footerV1Size]
+		bloomOffset = len(body) // v1: no bloom region
+	default:
+		return nil, fmt.Errorf("bad magic")
+	}
 	if crc32.ChecksumIEEE(body) != wantSum {
-		return nil, fmt.Errorf("kvstore: sstable %s checksum mismatch", path)
+		return nil, fmt.Errorf("checksum mismatch")
 	}
-	if indexOffset > len(body) {
-		return nil, fmt.Errorf("kvstore: sstable %s corrupt index offset", path)
+	if indexOffset < 0 || bloomOffset < indexOffset || bloomOffset > len(body) {
+		return nil, fmt.Errorf("corrupt region offsets (index %d, bloom %d, body %d)", indexOffset, bloomOffset, len(body))
 	}
-	t := &sstable{num: num, level: level, data: body[:indexOffset], count: entryCount}
-	idx := body[indexOffset:]
+	if entryCount < 0 || idxCount < 0 {
+		return nil, fmt.Errorf("negative counts")
+	}
+	t := &sstable{num: num, level: level, data: body[:indexOffset], count: entryCount, bytes: len(raw)}
+	if bloom := body[bloomOffset:]; len(bloom) > 0 {
+		f, err := decodeBloom(bloom)
+		if err != nil {
+			return nil, err
+		}
+		t.filter = f
+	}
+	idx := body[indexOffset:bloomOffset]
 	off := 0
 	for i := 0; i < idxCount; i++ {
 		klen, m := binary.Uvarint(idx[off:])
-		if m <= 0 || off+m+int(klen)+8 > len(idx) {
-			return nil, fmt.Errorf("kvstore: sstable %s corrupt index entry %d", path, i)
+		if m <= 0 || klen > uint64(len(idx)-off-m) {
+			return nil, fmt.Errorf("corrupt index entry %d", i)
 		}
 		off += m
-		t.firstKey = append(t.firstKey, idx[off:off+int(klen)])
+		key := idx[off : off+int(klen)]
 		off += int(klen)
-		t.offsets = append(t.offsets, int(binary.LittleEndian.Uint64(idx[off:off+8])))
+		if off+8 > len(idx) {
+			return nil, fmt.Errorf("corrupt index entry %d", i)
+		}
+		entryOff := binary.LittleEndian.Uint64(idx[off : off+8])
 		off += 8
+		if entryOff > uint64(len(t.data)) {
+			return nil, fmt.Errorf("index entry %d offset %d out of range", i, entryOff)
+		}
+		t.firstKey = append(t.firstKey, key)
+		t.offsets = append(t.offsets, int(entryOff))
 	}
-	if entryCount > 0 {
-		k, _, _, _, _, derr := decodeEntry(t.data)
+	if off != len(idx) {
+		return nil, fmt.Errorf("trailing index bytes")
+	}
+	// Full decode pass: entry framing, count, strict internal-key order, and
+	// the index's exact correspondence to the entry stream (every offset an
+	// entry boundary, every index key the entry's user key) are all pinned
+	// at open, so iteration can never fail — or lie — later.
+	n := 0
+	pos := 0
+	var prev internalKey
+	for pos < len(t.data) {
+		key, seq, kind, _, m, derr := decodeEntry(t.data[pos:])
 		if derr != nil {
-			return nil, fmt.Errorf("kvstore: sstable %s first entry: %w", path, derr)
+			return nil, fmt.Errorf("entry %d: %w", n, derr)
 		}
-		t.smallest = k
-		it := t.iterator()
-		for it.SeekToFirst(); it.Valid(); it.Next() {
-			ik, _ := it.Entry()
-			t.largest = ik.user
+		ik := internalKey{user: key, seq: seq, kind: kind}
+		if n == 0 {
+			t.smallest = key
+		} else if compareInternal(prev, ik) >= 0 {
+			return nil, fmt.Errorf("entries out of order at %d", n)
 		}
+		if n%indexInterval == 0 {
+			j := n / indexInterval
+			if j >= idxCount || t.offsets[j] != pos || compareBytes(t.firstKey[j], key) != 0 {
+				return nil, fmt.Errorf("index does not match entry %d", n)
+			}
+		}
+		t.largest = key
+		prev = ik
+		pos += m
+		n++
+	}
+	if n != entryCount {
+		return nil, fmt.Errorf("footer says %d entries, data holds %d", entryCount, n)
+	}
+	expectIdx := 0
+	if entryCount > 0 {
+		expectIdx = (entryCount + indexInterval - 1) / indexInterval
+	}
+	if idxCount != expectIdx {
+		return nil, fmt.Errorf("footer says %d index entries, want %d", idxCount, expectIdx)
 	}
 	return t, nil
 }
 
 // get returns the newest version of key with seq <= maxSeq stored in this
-// table.
+// table. The bloom filter short-circuits definite misses; the shared record
+// cache serves repeated reads of a table's newest version without re-seeking.
 func (t *sstable) get(key []byte, maxSeq uint64) (val []byte, deleted, ok bool) {
+	if t.filter != nil && !bloomMayContain(t.filter, key) {
+		t.met.BloomFiltered.Inc()
+		return nil, false, false
+	}
+	if t.cache != nil {
+		if rec, hit := t.cache.get(t.num, key); hit {
+			t.met.CacheHits.Inc()
+			if rec.seq <= maxSeq {
+				// The cached record is the newest version in this table, so
+				// it is the visible one for any snapshot at or above it.
+				return rec.val, rec.kind == kindDelete, true
+			}
+			// Snapshot below the newest version: fall through and scan.
+		} else {
+			t.met.CacheMisses.Inc()
+		}
+	}
 	it := t.iterator()
 	it.Seek(key)
+	matched := false
 	for ; it.Valid(); it.Next() {
 		ik, v := it.Entry()
 		if compareBytes(ik.user, key) != 0 {
-			return nil, false, false
+			break
+		}
+		if !matched {
+			matched = true
+			// First hit in internal-key order = newest version in this
+			// table: cacheable independent of the caller's snapshot.
+			t.cache.put(t.num, key, ik.seq, ik.kind, v)
 		}
 		if ik.seq > maxSeq {
 			continue
@@ -159,6 +290,9 @@ func (t *sstable) get(key []byte, maxSeq uint64) (val []byte, deleted, ok bool) 
 			return nil, true, true
 		}
 		return v, false, true
+	}
+	if !matched && t.filter != nil {
+		t.met.BloomFalsePositives.Inc()
 	}
 	return nil, false, false
 }
@@ -197,10 +331,13 @@ func (it *sstIterator) SeekToFirst() {
 // Seek positions the iterator at the first entry whose user key is >= user.
 func (it *sstIterator) Seek(user []byte) {
 	t := it.t
-	// Binary search the sparse index for the last block whose first key
-	// is <= user.
+	// Binary search the sparse index for the last block whose first key is
+	// strictly below user. A block whose first key EQUALS user cannot be the
+	// starting point: the run of user's versions may begin in the previous
+	// block, and starting at the equal entry would skip the newer versions
+	// before it.
 	i := sort.Search(len(t.firstKey), func(i int) bool {
-		return compareBytes(t.firstKey[i], user) > 0
+		return compareBytes(t.firstKey[i], user) >= 0
 	})
 	if i == 0 {
 		it.off = 0
@@ -218,6 +355,8 @@ func (it *sstIterator) advance() {
 		it.ok = false
 		return
 	}
+	// openSSTable fully validated the entry stream, so decode cannot fail
+	// on an opened table.
 	key, seq, kind, val, n, err := decodeEntry(it.t.data[it.off:])
 	if err != nil {
 		it.ok = false

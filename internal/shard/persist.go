@@ -43,6 +43,11 @@ type PersistOptions struct {
 	// Dir holds state from a previous process; the gateway supplies it from
 	// the feed's config.
 	Restore func(shard int, snap *core.FeedSnapshot) (*core.Feed, error)
+	// Metrics receives the storage engine's telemetry (cache hits, bloom
+	// rejections, flush/compaction counts). The gateway shares one bundle
+	// across every shard store so the exported grub_kv_* series aggregate
+	// the whole process. Nil means unmetered.
+	Metrics *kvstore.Metrics
 }
 
 // PersistStat reports one shard's durability counters.
@@ -103,7 +108,7 @@ type persister struct {
 
 func openPersister(opts PersistOptions, idx int) (*persister, error) {
 	dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", idx))
-	db, err := kvstore.Open(dir, kvstore.Options{SyncWrites: opts.SyncWrites})
+	db, err := kvstore.Open(dir, kvstore.Options{SyncWrites: opts.SyncWrites, Metrics: opts.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("shard: open store: %w", err)
 	}
