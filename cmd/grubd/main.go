@@ -19,6 +19,20 @@
 // Combine with -data-dir for a follower that resumes tailing from its own
 // WAL and cursor after a restart.
 //
+// With -join the daemon runs as one node of a self-routing gateway cluster
+// (internal/cluster): the flag lists the other members' URLs, feeds are
+// placed across nodes by consistent hashing, every node accepts every
+// request — non-owners transparently forward writes to the owner and serve
+// verified reads from their local replica — feeds migrate live between
+// nodes (POST /cluster/feeds/{id}/move), and a dead owner's feeds fail
+// over to an anchor-verified successor automatically. -advertise sets the
+// URL the other members reach this node at (defaults to the bound listen
+// address, which only works when that address is routable), and -node-id
+// sets a display name. Combine with -data-dir to persist the node's
+// placement map alongside its feeds. -join and -follow are mutually
+// exclusive: a cluster node is already a replica of every feed it does not
+// own.
+//
 // On SIGINT or SIGTERM the daemon shuts down gracefully: it stops accepting
 // connections, finishes in-flight requests, drains every feed worker —
 // taking a final snapshot and flushing each feed's store when persistence
@@ -35,7 +49,9 @@
 //
 //	grubd [-addr :8080] [-max-body 8388608] [-data-dir /var/lib/grubd]
 //	      [-snapshot-every 256] [-sync-writes] [-follow http://leader:8080]
-//	      [-repl-retain 256] [-slow-ms 0] [-debug-addr addr] [-version]
+//	      [-join http://b:8080,http://c:8080] [-advertise http://a:8080]
+//	      [-node-id a] [-repl-retain 256] [-slow-ms 0] [-debug-addr addr]
+//	      [-version]
 //
 // Then, for example:
 //
@@ -57,10 +73,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"grub/internal/cluster"
 	"grub/internal/repl"
 	"grub/internal/server"
 )
@@ -101,6 +120,9 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 	snapshotEvery := fs.Int("snapshot-every", 256, "per-shard batches between automatic snapshots (0 = shutdown/explicit only)")
 	syncWrites := fs.Bool("sync-writes", false, "fsync every durable log append")
 	follow := fs.String("follow", "", "replicate from this leader gateway URL and serve read-only (follower mode)")
+	join := fs.String("join", "", "comma-separated peer gateway URLs to form a self-routing cluster with (cluster mode)")
+	advertise := fs.String("advertise", "", "URL the other cluster members reach this node at (default: the bound listen address)")
+	nodeID := fs.String("node-id", "", "cluster display name for this node (default: the advertised URL)")
 	replRetain := fs.Int("repl-retain", 0, "replication log entries retained per shard for followers (0 = default 256; further-behind followers bootstrap from a snapshot)")
 	slowMS := fs.Int("slow-ms", 0, "log one JSON line with the per-stage span breakdown for every write batch slower than this many milliseconds (0 = off)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate listen address (empty = off)")
@@ -112,9 +134,13 @@ func run(args []string, w io.Writer, onReady func(net.Addr), stop <-chan struct{
 		fmt.Fprintf(w, "grubd %s\n", server.Version)
 		return nil
 	}
+	if *follow != "" && *join != "" {
+		return fmt.Errorf("-follow and -join are mutually exclusive: a cluster node already replicates every feed it does not own")
+	}
 	gopts := server.GatewayOptions{DataDir: *dataDir, SnapshotEvery: *snapshotEvery, SyncWrites: *syncWrites, ReplRetain: *replRetain}
 	sc := serveConfig{
 		addr: *addr, maxBody: *maxBody, follow: *follow,
+		join: *join, advertise: *advertise, nodeID: *nodeID,
 		slowOp: time.Duration(*slowMS) * time.Millisecond, debugAddr: *debugAddr,
 	}
 	return serve(sc, gopts, w, onReady, stop)
@@ -125,6 +151,9 @@ type serveConfig struct {
 	addr      string
 	maxBody   int64
 	follow    string
+	join      string
+	advertise string
+	nodeID    string
 	slowOp    time.Duration
 	debugAddr string
 }
@@ -162,6 +191,35 @@ func serve(sc serveConfig, gopts server.GatewayOptions, w io.Writer, onReady fun
 	if sc.follow != "" {
 		follower = repl.NewFollower(repl.Options{Leader: sc.follow, Pipeline: g.Pipeline()}, g.ReplTarget())
 		hc.Follower = follower
+	}
+	var node *cluster.Node
+	if sc.join != "" {
+		// The cluster node needs the bound listener first: with -addr :0
+		// the advertised URL defaults to the ephemeral address.
+		self := sc.advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		var peers []string
+		for _, p := range strings.Split(sc.join, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		statePath := ""
+		if gopts.DataDir != "" {
+			statePath = filepath.Join(gopts.DataDir, "cluster.json")
+		}
+		node, err = cluster.NewNode(cluster.Options{
+			Self: self, NodeID: sc.nodeID, Peers: peers,
+			Local: g.ClusterLocal(), StatePath: statePath,
+		})
+		if err != nil {
+			ln.Close()
+			g.Close()
+			return err
+		}
+		hc.Cluster = node
 	}
 	var dbg *http.Server
 	var dbgLn net.Listener
@@ -204,6 +262,9 @@ func serve(sc serveConfig, gopts server.GatewayOptions, w io.Writer, onReady fun
 		if follower != nil {
 			follower.Close()
 		}
+		if node != nil {
+			node.Close()
+		}
 		g.Close()
 	}()
 
@@ -213,6 +274,10 @@ func serve(sc serveConfig, gopts server.GatewayOptions, w io.Writer, onReady fun
 	if follower != nil {
 		follower.Start()
 		fmt.Fprintf(w, "grubd: following leader %s (read-only replica)\n", follower.Leader())
+	}
+	if node != nil {
+		node.Start()
+		fmt.Fprintf(w, "grubd: cluster node %s (%d members)\n", node.Self(), len(node.Members()))
 	}
 	if sc.slowOp > 0 {
 		fmt.Fprintf(w, "grubd: logging batches slower than %v\n", sc.slowOp)

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"grub/internal/cluster"
 	"grub/internal/server"
 )
 
@@ -298,5 +299,101 @@ func TestFollowerMode(t *testing.T) {
 	}
 	if !bytes.Contains(followerBuf.Bytes(), []byte("following leader")) {
 		t.Errorf("follower banner missing: %q", followerBuf.String())
+	}
+}
+
+// TestClusterMode boots a 2-node cluster via -join: both daemons must
+// banner as cluster nodes, report an enabled quorate cluster on
+// /cluster/status, and route a write from either node to the feed's owner.
+func TestClusterMode(t *testing.T) {
+	// Reserve two ports so each node can name the other in -join before
+	// either is listening.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	urls := []string{"http://" + addrs[0], "http://" + addrs[1]}
+
+	bufs := make([]bytes.Buffer, 2)
+	stops := make([]chan struct{}, 2)
+	errcs := make([]chan error, 2)
+	for i := range addrs {
+		stops[i] = make(chan struct{})
+		errcs[i] = make(chan error, 1)
+		ready := make(chan net.Addr, 1)
+		go func(i int) {
+			errcs[i] <- run([]string{"-addr", addrs[i], "-join", urls[1-i]}, &bufs[i],
+				func(a net.Addr) { ready <- a }, stops[i])
+		}(i)
+		<-ready
+	}
+
+	// Both nodes report an enabled cluster with 2 members, all alive.
+	cc := &cluster.Client{}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, u := range urls {
+		for {
+			st, err := cc.Status(u)
+			if err == nil && st.Enabled && st.Quorum && len(st.Members) == 2 &&
+				st.Members[0].Alive && st.Members[1].Alive {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s cluster status never became quorate (last %+v, err %v)", u, st, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Create on node 0, write through node 1: the cluster routes both to
+	// the owner, wherever the ring placed the feed.
+	c0 := server.NewClient(urls[0])
+	c0.Retry = server.DefaultRetry
+	if err := c0.CreateFeed(server.FeedConfig{ID: "cf", Shards: 2, EpochOps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c1 := server.NewClient(urls[1])
+	c1.Retry = server.DefaultRetry
+	if _, err := c1.Do("cf", []server.Op{{Type: "write", Key: "k", Value: []byte("v")}}); err != nil {
+		t.Fatalf("write via second node: %v", err)
+	}
+
+	// Both nodes eventually serve the verified read locally.
+	deadline = time.Now().Add(30 * time.Second)
+	for _, u := range urls {
+		for {
+			res, err := server.NewVerifyingClient(u).Get("cf", "k")
+			if err == nil && res.Found && string(res.Record.Value) == "v" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never served the write (last err %v)", u, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	for i := range stops {
+		close(stops[i])
+		if err := <-errcs[i]; err != nil {
+			t.Fatalf("node %d returned: %v", i, err)
+		}
+		if !bytes.Contains(bufs[i].Bytes(), []byte("cluster node")) {
+			t.Errorf("node %d cluster banner missing: %q", i, bufs[i].String())
+		}
+	}
+}
+
+// TestJoinFollowExclusive: -follow and -join cannot be combined.
+func TestJoinFollowExclusive(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-addr", "127.0.0.1:0", "-join", "http://a", "-follow", "http://b"}, &buf, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutual-exclusion error", err)
 	}
 }

@@ -35,8 +35,8 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig5", "table3", "fig6", "table6",
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
-		"gateway", "shard", "persist", "query", "repl", "publish",
-		"kvstore",
+		"gateway", "shard", "persist", "query", "repl", "cluster",
+		"publish", "kvstore",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -199,6 +199,44 @@ func TestReplSmoke(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "catch-up") {
 		t.Errorf("repl report incomplete:\n%s", buf.String())
+	}
+}
+
+// TestClusterSmoke runs the cluster experiment and pins its acceptance
+// bar: writes must flow at every node count and both latency paths must
+// report sane percentiles (forwarded >= owner-local at the median is NOT
+// asserted — loopback noise — but both must be nonzero).
+func TestClusterSmoke(t *testing.T) {
+	e, err := ByID("cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]float64{}
+	var buf bytes.Buffer
+	cfg := Config{W: &buf, Scale: smokeScale, Seed: 7,
+		Metric: func(name string, v float64) { metrics[name] = v }}
+	if err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		if metrics[fmt.Sprintf("cluster.write.opsPerSec.%dn", n)] <= 0 {
+			t.Errorf("write ops/sec at %d nodes missing or zero: %v", n, metrics)
+		}
+		share := metrics[fmt.Sprintf("cluster.write.maxOwnerShare.%dn", n)]
+		if share <= 0 || share > 1 {
+			t.Errorf("max owner share at %d nodes out of range: %v", n, share)
+		}
+	}
+	if s := metrics["cluster.write.maxOwnerShare.1n"]; s != 1 {
+		t.Errorf("single node must own every feed, got share %v", s)
+	}
+	for _, m := range []string{"cluster.latency.owner-local.p50Ms", "cluster.latency.forwarded.p50Ms"} {
+		if metrics[m] <= 0 {
+			t.Errorf("latency metric %s missing or zero: %v", m, metrics)
+		}
+	}
+	if !strings.Contains(buf.String(), "forwarded") {
+		t.Errorf("cluster report incomplete:\n%s", buf.String())
 	}
 }
 

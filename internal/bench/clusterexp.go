@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"grub/internal/cluster"
+	"grub/internal/server"
+)
+
+// RunCluster measures the self-routing gateway cluster over loopback HTTP:
+//
+//  1. Write scale-out: a fixed fleet of per-feed writers drives the same
+//     offered load through a 1-, 2- and 4-node cluster. Feeds are placed
+//     across the members by the consistent-hash ring and writers are
+//     placement-aware — they write to each feed's owner, as a
+//     load-balanced deployment settles into — so added nodes absorb a
+//     share of the owner-side write work. Reported as aggregate ops/sec
+//     per node count, plus the busiest node's share of owner-applied
+//     writes (the load-spreading signal; 1/N is ideal). Caveat for
+//     single-box runs: the nodes are in-process and every write is
+//     tail-applied by all N nodes, so ops/sec here understates what N
+//     real machines gain — the owner-share metric is the
+//     hardware-independent signal.
+//  2. Forward tax: on a 2-node cluster, the same single-op write is timed
+//     through the feed's owner (applied locally) and through the other
+//     node (transparently proxied to the owner) — reported as p50/p95/p99
+//     per path, the latency price of writing to the "wrong" node.
+func RunCluster(cfg Config) error {
+	cfg = cfg.withDefaults()
+	feeds := cfg.scaled(16, 6)
+	opsPer := cfg.scaled(120, 30)
+	latOps := cfg.scaled(200, 40)
+
+	fmt.Fprintf(cfg.W, "cluster: %d feeds, one writer per feed x %d single-op writes; %d timed ops per latency path\n\n",
+		feeds, opsPer, latOps)
+
+	// Phase 1: write throughput at 1, 2 and 4 nodes.
+	fmt.Fprintf(cfg.W, "%-8s %10s %12s %14s %16s\n", "nodes", "ops", "elapsed", "ops/sec", "max owner share")
+	var rates []float64
+	for _, count := range []int{1, 2, 4} {
+		rate, total, elapsed, share, err := clusterWriteRun(cfg, count, feeds, opsPer)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "%-8d %10d %12v %14.0f %15.0f%%\n",
+			count, total, elapsed.Round(time.Millisecond), rate, share*100)
+		cfg.metric(fmt.Sprintf("cluster.write.opsPerSec.%dn", count), rate)
+		cfg.metric(fmt.Sprintf("cluster.write.maxOwnerShare.%dn", count), share)
+		rates = append(rates, rate)
+	}
+	if len(rates) == 3 && rates[0] > 0 {
+		scale := rates[2] / rates[0]
+		fmt.Fprintf(cfg.W, "\nwrites scale %.2fx from 1 to 4 nodes (in-process: all nodes share this host's cores\nand every write is tail-applied on all N nodes; owner share shows the spread)\n\n", scale)
+		cfg.metric("cluster.write.scale4n", scale)
+	}
+
+	// Phase 2: owner-local vs forwarded write latency on a 2-node cluster.
+	local, forwarded, err := clusterLatencyRun(cfg, latOps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.W, "%-12s %10s %10s %10s\n", "write path", "p50", "p95", "p99")
+	for _, row := range []struct {
+		name string
+		ds   []time.Duration
+	}{{"owner-local", local}, {"forwarded", forwarded}} {
+		p50, p95, p99 := quantileDur(row.ds, 0.50), quantileDur(row.ds, 0.95), quantileDur(row.ds, 0.99)
+		fmt.Fprintf(cfg.W, "%-12s %10v %10v %10v\n", row.name,
+			p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+		cfg.metric("cluster.latency."+row.name+".p50Ms", float64(p50)/float64(time.Millisecond))
+		cfg.metric("cluster.latency."+row.name+".p99Ms", float64(p99)/float64(time.Millisecond))
+	}
+	if lp, fp := quantileDur(local, 0.50), quantileDur(forwarded, 0.50); lp > 0 {
+		fmt.Fprintf(cfg.W, "\nforwarding costs %.2fx at the median (one extra loopback hop)\n", float64(fp)/float64(lp))
+	}
+	return nil
+}
+
+// benchClusterNode is one in-process cluster member.
+type benchClusterNode struct {
+	gw   *server.Gateway
+	node *cluster.Node
+	url  string
+	stop func()
+}
+
+// startBenchCluster brings up count nodes that know each other as static
+// peers, with bench-appropriate fast cadences. Listeners are bound before
+// any node starts so every member URL is known up front.
+func startBenchCluster(count int) ([]benchClusterNode, func(), error) {
+	lns := make([]net.Listener, count)
+	urls := make([]string, count)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				lns[j].Close()
+			}
+			return nil, nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]benchClusterNode, 0, count)
+	stopAll := func() {
+		for _, n := range nodes {
+			n.stop()
+			n.node.Close()
+			n.gw.Close()
+		}
+	}
+	for i := 0; i < count; i++ {
+		gw := server.NewGateway()
+		peers := make([]string, 0, count-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		node, err := cluster.NewNode(cluster.Options{
+			Self: urls[i], Peers: peers, Local: gw.ClusterLocal(),
+			Heartbeat: 50 * time.Millisecond, TailPoll: 25 * time.Millisecond,
+		})
+		if err != nil {
+			gw.Close()
+			for j := i; j < count; j++ {
+				lns[j].Close()
+			}
+			stopAll()
+			return nil, nil, err
+		}
+		srv := &http.Server{Handler: server.NewHandlerConfig(gw, server.HandlerConfig{Cluster: node})}
+		go srv.Serve(lns[i])
+		node.Start()
+		nodes = append(nodes, benchClusterNode{gw: gw, node: node, url: urls[i], stop: func() { srv.Close() }})
+	}
+	return nodes, stopAll, nil
+}
+
+// clusterWriteRun measures aggregate single-op write throughput through a
+// count-node cluster. Feeds fan across the ring and each writer targets
+// its feed's owner node — the placement-aware routing a production load
+// balancer (or server.Client chasing Leader headers once) settles into —
+// so added nodes genuinely absorb owner-side write work instead of just
+// lengthening forwarding chains. The forwarding tax is measured
+// separately by clusterLatencyRun.
+func clusterWriteRun(cfg Config, count, feeds, opsPer int) (rate float64, total int, elapsed time.Duration, maxShare float64, err error) {
+	nodes, stopAll, err := startBenchCluster(count)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer stopAll()
+
+	admin := server.NewClient(nodes[0].url)
+	admin.Retry = server.DefaultRetry
+	ids := make([]string, feeds)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cf%02d", i)
+		if err := admin.CreateFeed(server.FeedConfig{ID: ids[i], EpochOps: 8}); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	if err := waitPlacement(nodes, ids, 30*time.Second); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	ownerURL := make(map[string]string, feeds)
+	ownedBy := make(map[string]int, count)
+	for _, id := range ids {
+		e, ok := nodes[0].node.Placement(id)
+		if !ok || e.Owner == "" {
+			return 0, 0, 0, 0, fmt.Errorf("bench: feed %q has no owner after convergence", id)
+		}
+		ownerURL[id] = e.Owner
+		ownedBy[e.Owner]++
+	}
+	// Every feed takes the same op count, so the busiest node's share of
+	// owner-applied writes is its share of the feeds.
+	for _, owned := range ownedBy {
+		if s := float64(owned) / float64(feeds); s > maxShare {
+			maxShare = s
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, feeds)
+	start := time.Now()
+	for w := 0; w < feeds; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			feed := ids[w]
+			c := server.NewClient(ownerURL[feed])
+			c.Retry = server.DefaultRetry
+			for i := 0; i < opsPer; i++ {
+				op := server.Op{Type: "write", Key: fmt.Sprintf("w%d-%d", w, i), Value: []byte("benchvalue")}
+				if _, err := c.Do(feed, []server.Op{op}); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	elapsed = time.Since(start)
+	for err := range errc {
+		return 0, 0, 0, 0, err
+	}
+	total = feeds * opsPer
+	return float64(total) / elapsed.Seconds(), total, elapsed, maxShare, nil
+}
+
+// clusterLatencyRun times the same single-op write through the owner and
+// through the non-owner of a 2-node cluster.
+func clusterLatencyRun(cfg Config, latOps int) (local, forwarded []time.Duration, err error) {
+	nodes, stopAll, err := startBenchCluster(2)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer stopAll()
+
+	const feed = "lat"
+	admin := server.NewClient(nodes[0].url)
+	admin.Retry = server.DefaultRetry
+	if err := admin.CreateFeed(server.FeedConfig{ID: feed, EpochOps: 8}); err != nil {
+		return nil, nil, err
+	}
+	if err := waitPlacement(nodes, []string{feed}, 30*time.Second); err != nil {
+		return nil, nil, err
+	}
+	e, _ := nodes[0].node.Placement(feed)
+	var ownerC, otherC *server.Client
+	for _, n := range nodes {
+		c := server.NewClient(n.url)
+		c.Retry = server.DefaultRetry
+		if n.url == e.Owner {
+			ownerC = c
+		} else {
+			otherC = c
+		}
+	}
+	if ownerC == nil || otherC == nil {
+		return nil, nil, fmt.Errorf("bench: feed %q owner %q is not a cluster member", feed, e.Owner)
+	}
+
+	run := func(c *server.Client, tag string) ([]time.Duration, error) {
+		// Warm-up covers connection setup and first-epoch costs.
+		for i := 0; i < 8; i++ {
+			if _, err := c.Do(feed, []server.Op{{Type: "write", Key: fmt.Sprintf("warm-%s-%d", tag, i), Value: []byte("v")}}); err != nil {
+				return nil, err
+			}
+		}
+		ds := make([]time.Duration, 0, latOps)
+		for i := 0; i < latOps; i++ {
+			op := server.Op{Type: "write", Key: fmt.Sprintf("%s-%d", tag, i), Value: []byte("benchvalue")}
+			t0 := time.Now()
+			if _, err := c.Do(feed, []server.Op{op}); err != nil {
+				return nil, err
+			}
+			ds = append(ds, time.Since(t0))
+		}
+		return ds, nil
+	}
+	if local, err = run(ownerC, "loc"); err != nil {
+		return nil, nil, err
+	}
+	if forwarded, err = run(otherC, "fwd"); err != nil {
+		return nil, nil, err
+	}
+	return local, forwarded, nil
+}
+
+// waitPlacement blocks until every node knows an owner for every feed, so
+// the measured run never hits the unknown-feed window that follows create.
+func waitPlacement(nodes []benchClusterNode, feeds []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		for _, n := range nodes {
+			for _, f := range feeds {
+				if e, found := n.node.Placement(f); !found || e.Deleted || e.Owner == "" {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: cluster placement did not converge within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// quantileDur returns the q-quantile of the (unsorted) samples.
+func quantileDur(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := q * float64(len(s)-1)
+	lo := int(rank)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	frac := rank - float64(lo)
+	return time.Duration(float64(s[lo]) + (float64(s[lo+1])-float64(s[lo]))*frac)
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestPlacementMergeEpochWins(t *testing.T) {
+	m, _ := NewMap("")
+	if !m.Merge(Entry{Feed: "f", Owner: "a", Epoch: 1}) {
+		t.Fatal("first merge reported no change")
+	}
+	// Lower epoch never wins.
+	m.Merge(Entry{Feed: "f", Owner: "c", Epoch: 3})
+	if m.Merge(Entry{Feed: "f", Owner: "z", Epoch: 2}) {
+		t.Fatal("lower epoch superseded higher")
+	}
+	if e, _ := m.Get("f"); e.Owner != "c" || e.Epoch != 3 {
+		t.Fatalf("entry = %+v, want owner c epoch 3", e)
+	}
+	// Re-merging the current entry is a no-op (idempotent).
+	if m.Merge(Entry{Feed: "f", Owner: "c", Epoch: 3}) {
+		t.Fatal("idempotent re-merge reported a change")
+	}
+	if got := m.Epoch(); got != 3 {
+		t.Fatalf("map epoch = %d, want 3", got)
+	}
+}
+
+// TestPlacementMergeCommutes feeds the same set of concurrent proposals in
+// every order to two maps and demands identical outcomes — the property
+// that lets heartbeat exchange converge without consensus.
+func TestPlacementMergeCommutes(t *testing.T) {
+	proposals := []Entry{
+		{Feed: "f", Owner: "a", Epoch: 2},
+		{Feed: "f", Owner: "b", Epoch: 2},                // equal-epoch rival
+		{Feed: "f", Owner: "a", Epoch: 2, Fenced: true},  // fenced beats plain at equal epoch
+		{Feed: "f", Owner: "c", Epoch: 1, Deleted: true}, // stale tombstone
+		{Feed: "g", Owner: "b", Epoch: 1},
+	}
+	perms := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {1, 4, 0, 3, 2}}
+	var want []Entry
+	for i, order := range perms {
+		m, _ := NewMap("")
+		for _, idx := range order {
+			m.Merge(proposals[idx])
+		}
+		got := m.Entries()
+		if i == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("order %v: %d entries, want %d", order, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("order %v: entry %d = %+v, want %+v", order, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestPlacementPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	m, err := NewMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Merge(Entry{Feed: "f", Owner: "a", Epoch: 2, Fenced: true})
+	m.Merge(Entry{Feed: "g", Owner: "b", Epoch: 7, Deleted: true})
+
+	re, err := NewMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range m.Entries() {
+		got, ok := re.Get(want.Feed)
+		if !ok || got != want {
+			t.Fatalf("reloaded %q = %+v ok=%v, want %+v", want.Feed, got, ok, want)
+		}
+	}
+}

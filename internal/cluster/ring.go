@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringVNodes is the number of virtual points each member contributes to the
+// ring. Enough points smooth feed placement across a handful of gateway
+// nodes without making successor walks expensive.
+const ringVNodes = 64
+
+// Ring is a consistent-hash ring over the cluster's static member URLs. It
+// answers two deterministic questions every node must agree on: which member
+// a new feed defaults to (Owner), and who is next in line when a member dies
+// (Successor). The ring never moves feeds by itself — the replicated
+// placement map is authoritative; the ring only supplies defaults and the
+// failover order.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	primary map[string]uint64
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// splitmix64 finalizer: FNV-1a alone diffuses a trailing-byte change
+	// through only one multiply, so the vnode strings "m#0".."m#63" — which
+	// differ only at the tail — would land correlated points and skew the
+	// ring badly. The finalizer's two rounds of shift-xor-multiply spread
+	// that difference across all 64 bits.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewRing builds a ring over the given member URLs (duplicates ignored).
+func NewRing(members []string) *Ring {
+	r := &Ring{primary: make(map[string]uint64, len(members))}
+	for _, m := range members {
+		if _, dup := r.primary[m]; dup || m == "" {
+			continue
+		}
+		r.primary[m] = ringHash(m + "#0")
+		for i := 0; i < ringVNodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's member URLs, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.primary))
+	for m := range r.primary {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walk visits ring points clockwise starting at the first point with
+// hash >= h, calling visit with each point's member until it returns true.
+func (r *Ring) walk(h uint64, visit func(member string) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if visit(p.member) {
+			return
+		}
+	}
+}
+
+// Owner returns the member the key hashes to: the first ring point clockwise
+// from hash(key) whose member satisfies ok (ok == nil accepts every member).
+// It returns "" when no member qualifies.
+func (r *Ring) Owner(key string, ok func(member string) bool) string {
+	var owner string
+	r.walk(ringHash(key), func(m string) bool {
+		if ok == nil || ok(m) {
+			owner = m
+			return true
+		}
+		return false
+	})
+	return owner
+}
+
+// Successor returns the member next on the ring after the given member's
+// primary point that satisfies ok, skipping the member itself. This is the
+// deterministic failover order: every node computes the same successor for a
+// dead owner. It returns "" when no other member qualifies.
+func (r *Ring) Successor(member string, ok func(member string) bool) string {
+	h, known := r.primary[member]
+	if !known {
+		h = ringHash(member + "#0")
+	}
+	var succ string
+	r.walk(h+1, func(m string) bool {
+		if m == member {
+			return false
+		}
+		if ok == nil || ok(m) {
+			succ = m
+			return true
+		}
+		return false
+	})
+	return succ
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	members := testMembers(3)
+	a := NewRing(members)
+	b := NewRing([]string{members[2], members[0], members[1]}) // order must not matter
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("feed-%d", i)
+		if got, want := a.Owner(key, nil), b.Owner(key, nil); got != want {
+			t.Fatalf("owner(%q) differs by member order: %q vs %q", key, got, want)
+		}
+		if a.Owner(key, nil) == "" {
+			t.Fatalf("owner(%q) empty on non-empty ring", key)
+		}
+	}
+}
+
+func TestRingOwnerSpread(t *testing.T) {
+	r := NewRing(testMembers(4))
+	counts := map[string]int{}
+	const feeds = 400
+	for i := 0; i < feeds; i++ {
+		counts[r.Owner(fmt.Sprintf("feed-%d", i), nil)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("placement used %d of 4 members: %v", len(counts), counts)
+	}
+	for m, c := range counts {
+		// With 64 vnodes the spread is rough, not perfect; just reject
+		// pathological skew (one member hoarding or starving).
+		if c < feeds/16 || c > feeds/2 {
+			t.Fatalf("member %s got %d of %d feeds: %v", m, c, feeds, counts)
+		}
+	}
+}
+
+func TestRingOwnerFilter(t *testing.T) {
+	members := testMembers(3)
+	r := NewRing(members)
+	key := "hot-feed"
+	full := r.Owner(key, nil)
+	alive := func(m string) bool { return m != full }
+	failedOver := r.Owner(key, alive)
+	if failedOver == full || failedOver == "" {
+		t.Fatalf("owner with %q dead = %q", full, failedOver)
+	}
+	if got := r.Owner(key, func(string) bool { return false }); got != "" {
+		t.Fatalf("owner with no member alive = %q, want empty", got)
+	}
+}
+
+func TestRingSuccessor(t *testing.T) {
+	members := testMembers(5)
+	r := NewRing(members)
+	for _, m := range members {
+		succ := r.Successor(m, nil)
+		if succ == m || succ == "" {
+			t.Fatalf("successor(%s) = %q", m, succ)
+		}
+		// Deterministic regardless of construction order.
+		r2 := NewRing([]string{members[3], members[1], members[4], members[0], members[2]})
+		if got := r2.Successor(m, nil); got != succ {
+			t.Fatalf("successor(%s) differs by member order: %q vs %q", m, got, succ)
+		}
+	}
+	// The filter skips dead candidates.
+	dead := r.Successor(members[0], nil)
+	next := r.Successor(members[0], func(m string) bool { return m != dead })
+	if next == dead || next == members[0] || next == "" {
+		t.Fatalf("successor skipping %q = %q", dead, next)
+	}
+	if got := r.Successor(members[0], func(string) bool { return false }); got != "" {
+		t.Fatalf("successor with nobody alive = %q, want empty", got)
+	}
+}

@@ -1,0 +1,79 @@
+package repl
+
+import "time"
+
+// FeedTail replicates exactly one feed from one leader into a local Target —
+// the per-feed unit the cluster layer composes: a gateway cluster node tails
+// each feed it does not own from that feed's current owner, retargeting (or
+// promoting itself and dropping the tail) as ownership moves. It shares the
+// Follower's machinery wholesale: config discovery against the leader's
+// /repl/feeds, verified snapshot bootstrap below the retained-log floor,
+// per-shard tailers with backoff/resume, and the divergence halt.
+//
+// A FeedTail whose feed vanishes from the leader parks in StateGone and
+// re-arms automatically if the leader re-hosts it — during an ownership
+// handoff the new owner always hosts the feed, so a tail pointed at the
+// right node recovers by itself.
+type FeedTail struct {
+	f  *Follower
+	id string
+}
+
+// NewFeedTail returns an unstarted tail replicating feed id from
+// opts.Leader into target.
+func NewFeedTail(opts Options, target Target, id string) *FeedTail {
+	return &FeedTail{f: NewFollower(opts, target), id: id}
+}
+
+// ID returns the tailed feed's ID.
+func (t *FeedTail) ID() string { return t.id }
+
+// Leader returns the leader base URL this tail replicates from.
+func (t *FeedTail) Leader() string { return t.f.Leader() }
+
+// Start launches replication of the one feed. It is idempotent.
+func (t *FeedTail) Start() {
+	t.f.startOnce.Do(func() {
+		t.f.wg.Add(1)
+		go t.f.runFiltered(t.id)
+	})
+}
+
+// Close stops the tail's goroutines and waits for them to exit.
+func (t *FeedTail) Close() { t.f.Close() }
+
+// Status reports the tailed feed's replication health. Before the first
+// successful discovery it reports StateSyncing with no shards.
+func (t *FeedTail) Status() FeedStatus {
+	feeds, err := t.f.Status()
+	for _, fs := range feeds {
+		if fs.ID == t.id {
+			return fs
+		}
+	}
+	fs := FeedStatus{ID: t.id, State: StateSyncing}
+	if err != nil {
+		fs.Error = err.Error()
+	}
+	return fs
+}
+
+// Converged reports whether the tail has discovered the feed and every
+// shard is tailing with zero observed lag.
+func (t *FeedTail) Converged() bool { return t.f.Converged() }
+
+// WaitConverged polls Converged until it holds or the timeout elapses.
+func (t *FeedTail) WaitConverged(timeout time.Duration) error {
+	return t.f.WaitConverged(timeout)
+}
+
+// Halted reports whether any shard of the tailed feed halted on a detected
+// divergence, with the first halted shard's error message when so.
+func (t *FeedTail) Halted() (bool, string) {
+	for _, ss := range t.Status().Shards {
+		if ss.State == StateHalted {
+			return true, ss.Error
+		}
+	}
+	return false, ""
+}

@@ -222,11 +222,26 @@ func (f *Follower) grow(b time.Duration) time.Duration {
 
 // run is the manager loop: it discovers the leader's feeds, ensures each
 // exists locally and keeps the tracked set in sync with the leader's.
-func (f *Follower) run() {
+func (f *Follower) run() { f.runFiltered("") }
+
+// runFiltered is run restricted to one feed ID when only != "" — the
+// whole-leader Follower passes "", a FeedTail passes its feed. Everything
+// else (discovery cadence, gone/retry semantics, tailer lifecycle) is
+// shared.
+func (f *Follower) runFiltered(only string) {
 	defer f.wg.Done()
 	backoff := f.opts.Poll
 	for {
 		infos, err := f.client.Feeds()
+		if err == nil && only != "" {
+			kept := infos[:0]
+			for _, info := range infos {
+				if info.ID == only {
+					kept = append(kept, info)
+				}
+			}
+			infos = kept
+		}
 		if err != nil {
 			f.mu.Lock()
 			f.listErr = err

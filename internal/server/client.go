@@ -5,18 +5,46 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"time"
 
 	"grub/internal/query"
 	"grub/internal/shard"
 )
+
+// Retry bounds the client's automatic retry of transient failures:
+// transport errors (connection refused/reset while a node restarts or
+// fails over) and 502/503 responses (a forward to a just-dead owner, a
+// migration fence, a quorumless node). Each retry backs off exponentially
+// from Base, capped at Max, with full jitter (a uniformly random slice of
+// the delay) so a fleet of clients retrying through the same failover does
+// not stampede in lockstep. The zero value disables retrying — existing
+// single-shot behavior — and DefaultRetry is a sensible production choice.
+type Retry struct {
+	// Attempts is the total number of tries (values < 2 mean one try, no
+	// retry).
+	Attempts int
+	// Base is the backoff before the first retry (default 25ms), doubling
+	// each retry.
+	Base time.Duration
+	// Max caps a single backoff delay (default 400ms).
+	Max time.Duration
+}
+
+// DefaultRetry rides out a gateway restart, a migration fence or a cluster
+// failover window (~4 tries over roughly half a second worst case).
+var DefaultRetry = Retry{Attempts: 4, Base: 25 * time.Millisecond, Max: 400 * time.Millisecond}
 
 // Client talks to a gateway over its HTTP/JSON API. The zero HTTP client is
 // usable; BaseURL is required ("http://host:port", no trailing slash).
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry bounds automatic retry of transient failures (zero = one
+	// attempt, no retry).
+	Retry Retry
 }
 
 // NewClient returns a client for a gateway at baseURL.
@@ -31,10 +59,12 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// call performs one JSON round-trip. out may be nil. A 403 carrying a
-// Leader header — a read-only follower refusing a write — is transparently
-// retried once against the named leader, so a client pointed at a replica
-// still lands its writes.
+// call performs one JSON round-trip, with bounded retry per c.Retry. out
+// may be nil. A 403 (read-only follower refusing a write) or 421 (cluster
+// node disclaiming ownership) carrying a Leader header is transparently
+// retried once against the named leader, so a client pointed at any node
+// still lands its writes; transport errors and 502/503 responses back off
+// and retry when c.Retry allows.
 func (c *Client) call(method, path string, in, out any) error {
 	var payload []byte
 	if in != nil {
@@ -58,35 +88,70 @@ func (c *Client) call(method, path string, in, out any) error {
 		}
 		return c.httpClient().Do(req)
 	}
-	resp, err := do(c.BaseURL)
-	if err != nil {
-		return err
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	if resp.StatusCode == http.StatusForbidden {
-		// One hop only: if the "leader" is itself a follower, its own 403
-		// comes back to the caller rather than chasing a redirect chain.
-		if leader := resp.Header.Get("Leader"); leader != "" && leader != c.BaseURL {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp, err = do(leader); err != nil {
-				return err
+	base := c.Retry.Base
+	if base <= 0 {
+		base = DefaultRetry.Base
+	}
+	maxDelay := c.Retry.Max
+	if maxDelay <= 0 {
+		maxDelay = DefaultRetry.Max
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := base << (attempt - 1)
+			if d > maxDelay {
+				d = maxDelay
+			}
+			// Full jitter: sleep a uniformly random slice of the delay.
+			time.Sleep(time.Duration(rand.Int64N(int64(d) + 1)))
+		}
+		resp, err := do(c.BaseURL)
+		if err == nil && (resp.StatusCode == http.StatusForbidden || resp.StatusCode == http.StatusMisdirectedRequest) {
+			// One hop only: if the named "leader" disagrees too, its own
+			// rejection comes back to the caller rather than chasing a
+			// redirect chain.
+			if leader := resp.Header.Get("Leader"); leader != "" && leader != c.BaseURL {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				resp, err = do(leader)
 			}
 		}
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var e errorBody
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("client: %s %s: %s", method, path, e.Error)
+		if err != nil {
+			lastErr = err // transport error: transient, retry
+			continue
 		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+			var e errorBody
+			if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+				lastErr = fmt.Errorf("client: %s %s: %s", method, path, e.Error)
+			} else {
+				lastErr = fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			var e errorBody
+			if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+				return fmt.Errorf("client: %s %s: %s", method, path, e.Error)
+			}
+			return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		}
+		if out == nil {
+			// Drain so the transport can reuse the connection.
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	if out == nil {
-		// Drain so the transport can reuse the connection.
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return lastErr
 }
 
 // CreateFeed creates a feed on the gateway.

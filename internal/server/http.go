@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"grub/internal/cluster"
 	"grub/internal/obs"
 	"grub/internal/query"
 	"grub/internal/repl"
@@ -43,6 +44,13 @@ type HandlerConfig struct {
 	// replication health. Reads — including the authenticated read path —
 	// serve locally from the replicated state.
 	Follower *repl.Follower
+	// Cluster, when non-nil, puts the handler in cluster mode (grubd
+	// -join): write-path requests are routed by the node's placement map —
+	// applied locally when this node owns the feed, transparently proxied
+	// to the owner otherwise — the /cluster/* surface activates, and
+	// /healthz and /metrics grow cluster fields. Reads always serve
+	// locally from the node's verified replica.
+	Cluster *cluster.Node
 	// SlowOp enables structured slow-batch logging (grubd's -slow-ms):
 	// every write batch whose gateway round trip exceeds it emits one
 	// JSON line (SlowOpRecord) with the batch's trace ID and per-stage
@@ -109,6 +117,9 @@ type HealthResponse struct {
 	Follower string `json:"follower,omitempty"`
 	// Degraded lists halted shards, sorted by feed then shard.
 	Degraded []ShardHealth `json:"degraded,omitempty"`
+	// Cluster is this node's cluster view (role per feed, members, quorum)
+	// when clustering is enabled.
+	Cluster *cluster.Status `json:"cluster,omitempty"`
 }
 
 // StageLatency summarizes one pipeline stage's latency distribution for
@@ -255,6 +266,43 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		return true
 	}
 
+	// clusterRoute applies the cluster routing decision for a write-path
+	// request on a feed. It reports true when the request was fully handled
+	// here — proxied to the owner, fenced (503), quorumless (503) or
+	// misdirected (421 + Leader); false means "apply locally".
+	clusterRoute := func(w http.ResponseWriter, r *http.Request, feed string) bool {
+		if hc.Cluster == nil {
+			return false
+		}
+		reqEpoch, _ := strconv.ParseUint(r.Header.Get(cluster.EpochHeader), 10, 64)
+		forwarded := r.Header.Get(cluster.ForwardedHeader) != ""
+		rt := hc.Cluster.RouteWrite(feed, reqEpoch, forwarded)
+		switch rt.Kind {
+		case cluster.RouteForward:
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+			if err != nil {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", maxBody)})
+				return true
+			}
+			hc.Cluster.CountForward()
+			forwardToOwner(w, r, body, rt.Owner, rt.Epoch, hc.Cluster.HTTPClient())
+			return true
+		case cluster.RouteFenced, cluster.RouteUnavailable:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "cluster: " + rt.Reason, Leader: rt.Owner})
+			return true
+		case cluster.RouteMisdirected:
+			w.Header().Set("Leader", rt.Owner)
+			writeJSON(w, http.StatusMisdirectedRequest, errorBody{
+				Error:  fmt.Sprintf("cluster: feed %q is owned by %s", feed, rt.Owner),
+				Leader: rt.Owner,
+			})
+			return true
+		}
+		return false
+	}
+
 	mux.HandleFunc("POST /feeds", func(w http.ResponseWriter, r *http.Request) {
 		if rejectWrite(w) {
 			return
@@ -263,9 +311,42 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		if !decodeBody(w, r, maxBody, &cfg) {
 			return
 		}
+		if hc.Cluster != nil {
+			// New feeds are placed by consistent hashing over the alive
+			// members (existing placement wins for re-creates); only the
+			// placed owner creates, then claims the feed in the map.
+			owner := hc.Cluster.PlaceFeed(cfg.ID)
+			switch {
+			case owner == "":
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable,
+					errorBody{Error: "cluster: no alive member to place feed on"})
+				return
+			case owner != hc.Cluster.Self() && r.Header.Get(cluster.ForwardedHeader) != "":
+				w.Header().Set("Leader", owner)
+				writeJSON(w, http.StatusMisdirectedRequest, errorBody{
+					Error:  fmt.Sprintf("cluster: feed %q places on %s", cfg.ID, owner),
+					Leader: owner,
+				})
+				return
+			case owner != hc.Cluster.Self():
+				body, _ := json.Marshal(cfg)
+				hc.Cluster.CountForward()
+				if status := forwardToOwner(w, r, body, owner, 0, hc.Cluster.HTTPClient()); status == http.StatusCreated {
+					// Record the owner now so a write that follows the
+					// create immediately routes there instead of missing
+					// locally until the next heartbeat.
+					hc.Cluster.NoteOwner(cfg.ID, owner)
+				}
+				return
+			}
+		}
 		if err := g.CreateFeed(cfg); err != nil {
 			writeErr(w, err)
 			return
+		}
+		if hc.Cluster != nil {
+			hc.Cluster.ClaimFeed(cfg.ID)
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"id": cfg.ID})
 	})
@@ -278,11 +359,14 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		if rejectWrite(w) {
 			return
 		}
+		id := r.PathValue("id")
+		if clusterRoute(w, r, id) {
+			return
+		}
 		var req BatchRequest
 		if !decodeBody(w, r, maxBody, &req) {
 			return
 		}
-		id := r.PathValue("id")
 		// Trace the batch when the client asked for it (X-Grub-Trace)
 		// or slow-op logging needs the span breakdown; everything else
 		// runs with a nil trace and pays only nil checks.
@@ -377,21 +461,43 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		// refused) and, in follower mode, tailer-side halts both degrade
 		// the probe: a halted shard serves a frozen view forever.
 		resp.Degraded = g.Halted()
+		seen := make(map[string]map[int]bool, len(resp.Degraded))
+		mark := func(feed string, s int) bool {
+			if seen[feed] == nil {
+				seen[feed] = make(map[int]bool)
+			}
+			was := seen[feed][s]
+			seen[feed][s] = true
+			return was
+		}
+		for _, d := range resp.Degraded {
+			mark(d.Feed, d.Shard)
+		}
 		if hc.Follower != nil {
 			resp.Follower = hc.Follower.Leader()
-			seen := make(map[string]map[int]bool, len(resp.Degraded))
-			for _, d := range resp.Degraded {
-				if seen[d.Feed] == nil {
-					seen[d.Feed] = make(map[int]bool)
-				}
-				seen[d.Feed][d.Shard] = true
-			}
 			feeds, _ := hc.Follower.Status()
 			for _, fs := range feeds {
 				for _, ss := range fs.Shards {
-					if ss.State == repl.StateHalted && !seen[fs.ID][ss.Shard] {
+					if ss.State == repl.StateHalted && !mark(fs.ID, ss.Shard) {
 						resp.Degraded = append(resp.Degraded,
 							ShardHealth{Feed: fs.ID, Shard: ss.Shard, State: repl.StateHalted, Error: ss.Error})
+					}
+				}
+			}
+		}
+		if hc.Cluster != nil {
+			// Cluster tails that refused to fork degrade the probe the
+			// same way follower tailers do.
+			cs := hc.Cluster.Status()
+			resp.Cluster = &cs
+			for _, fp := range cs.Feeds {
+				if fp.Tail == nil {
+					continue
+				}
+				for _, ss := range fp.Tail.Shards {
+					if ss.State == repl.StateHalted && !mark(fp.Feed, ss.Shard) {
+						resp.Degraded = append(resp.Degraded,
+							ShardHealth{Feed: fp.Feed, Shard: ss.Shard, State: repl.StateHalted, Error: ss.Error})
 					}
 				}
 			}
@@ -404,7 +510,7 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		writeJSON(w, status, resp)
 	})
 
-	mux.HandleFunc("GET /metrics", metricsHandler(g, hc.Follower))
+	mux.HandleFunc("GET /metrics", metricsHandler(g, hc.Follower, hc.Cluster))
 
 	// Replication surface: every gateway ships its per-shard log (leader
 	// role needs no configuration); /repl/status reports the follower
@@ -554,11 +660,84 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		if rejectWrite(w) {
 			return
 		}
-		if err := g.CloseFeed(r.PathValue("id")); err != nil {
+		id := r.PathValue("id")
+		if clusterRoute(w, r, id) {
+			return
+		}
+		if err := g.CloseFeed(id); err != nil {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"closed": r.PathValue("id")})
+		if hc.Cluster != nil {
+			// Tombstone the placement entry so every other node stops
+			// tailing and drops its replica.
+			hc.Cluster.ReleaseFeed(id)
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+	})
+
+	// Cluster surface: heartbeat/placement exchange, the node's cluster
+	// view, and live feed migration.
+	mux.HandleFunc("POST /cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		if hc.Cluster == nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "cluster: clustering disabled (start grubd with -join)"})
+			return
+		}
+		var hb cluster.Heartbeat
+		if !decodeBody(w, r, maxBody, &hb) {
+			return
+		}
+		writeJSON(w, http.StatusOK, hc.Cluster.HandleHeartbeat(hb))
+	})
+
+	mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		if hc.Cluster == nil {
+			writeJSON(w, http.StatusOK, cluster.Status{Enabled: false})
+			return
+		}
+		writeJSON(w, http.StatusOK, hc.Cluster.Status())
+	})
+
+	mux.HandleFunc("POST /cluster/feeds/{id}/move", func(w http.ResponseWriter, r *http.Request) {
+		if hc.Cluster == nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "cluster: clustering disabled (start grubd with -join)"})
+			return
+		}
+		var req cluster.MoveRequest
+		if !decodeBody(w, r, maxBody, &req) {
+			return
+		}
+		feed := r.PathValue("id")
+		// Migration runs on the owner; any other node proxies one hop.
+		if e, ok := hc.Cluster.Placement(feed); ok && !e.Deleted && e.Owner != hc.Cluster.Self() {
+			if r.Header.Get(cluster.ForwardedHeader) != "" {
+				w.Header().Set("Leader", e.Owner)
+				writeJSON(w, http.StatusMisdirectedRequest, errorBody{
+					Error:  fmt.Sprintf("cluster: feed %q is owned by %s", feed, e.Owner),
+					Leader: e.Owner,
+				})
+				return
+			}
+			body, _ := json.Marshal(req)
+			hc.Cluster.CountForward()
+			forwardToOwner(w, r, body, e.Owner, e.Epoch, hc.Cluster.HTTPClient())
+			return
+		}
+		res, err := hc.Cluster.Move(feed, req.Target)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, cluster.ErrUnknownMember):
+				status = http.StatusBadRequest
+			case errors.Is(err, cluster.ErrNotOwner), errors.Is(err, cluster.ErrBusy):
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 
 	return mux

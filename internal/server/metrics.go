@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"grub/internal/cluster"
 	"grub/internal/obs"
 	"grub/internal/repl"
 )
@@ -20,9 +21,9 @@ import (
 // follower the replication gauges (notably grub_repl_lag = leader seq −
 // follower seq, per shard) come from the follower's tailer status.
 
-// metricsHandler renders the gateway's metrics; follower may be nil (leader
-// or standalone mode).
-func metricsHandler(g *Gateway, follower *repl.Follower) http.HandlerFunc {
+// metricsHandler renders the gateway's metrics; follower and node may be
+// nil (leader/standalone mode and non-clustered mode respectively).
+func metricsHandler(g *Gateway, follower *repl.Follower, node *cluster.Node) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ids := g.Feeds()
 		feedSeries := []obs.Series{
@@ -80,6 +81,9 @@ func metricsHandler(g *Gateway, follower *repl.Follower) http.HandlerFunc {
 		if follower != nil {
 			obs.WriteSeries(&b, followerSeries(follower))
 		}
+		if node != nil {
+			obs.WriteSeries(&b, clusterSeries(node))
+		}
 		// Registry-backed families (the grub_stage_seconds pipeline
 		// histograms) render last; the registry sorts its own families.
 		g.Metrics().WritePrometheus(&b)
@@ -94,6 +98,58 @@ func metricsHandler(g *Gateway, follower *repl.Follower) http.HandlerFunc {
 var replStateCode = map[string]int{
 	repl.StateTailing: 0, repl.StateSyncing: 1, repl.StateGone: 2,
 	repl.StateFailed: 3, repl.StateHalted: 4,
+}
+
+// clusterRoleCode maps this node's role in a feed to a numeric gauge so
+// dashboards can plot ownership moves (0 follower, 1 owner, 2 owner mid-
+// migration fence, 3 deleted).
+var clusterRoleCode = map[string]int{
+	"follower": 0, "owner": 1, "owner-fenced": 2, "deleted": 3,
+}
+
+func clusterSeries(node *cluster.Node) []obs.Series {
+	st := node.Status()
+	alive := 0
+	for _, m := range st.Members {
+		if m.Alive {
+			alive++
+		}
+	}
+	quorum := 0.0
+	if st.Quorum {
+		quorum = 1
+	}
+	out := []obs.Series{
+		{Name: "grub_cluster_members", Help: "Static cluster member count.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(len(st.Members))}}},
+		{Name: "grub_cluster_members_alive", Help: "Members heard from within the failure window (including self).", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(alive)}}},
+		{Name: "grub_cluster_quorum", Help: "Whether this node sees a member majority (writes require it).", Type: "gauge",
+			Samples: []obs.Sample{{Value: quorum}}},
+		{Name: "grub_cluster_epoch", Help: "Highest placement fencing epoch known to this node (the ring epoch).", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(st.Epoch)}}},
+		{Name: "grub_cluster_forwards_total", Help: "Write-path requests this node proxied to a feed's owner.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(st.ForwardsTotal)}}},
+		{Name: "grub_cluster_failovers_total", Help: "Failover promotions this node performed.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(st.FailoversTotal)}}},
+		{Name: "grub_cluster_role", Help: "This node's role per feed (0 follower, 1 owner, 2 owner-fenced, 3 deleted).", Type: "gauge"},
+		{Name: "grub_cluster_heartbeat_lag_seconds", Help: "Seconds since each peer was last heard from (-1 = never).", Type: "gauge"},
+	}
+	for _, fp := range st.Feeds {
+		out[6].Samples = append(out[6].Samples,
+			obs.Sample{Labels: obs.Labels("feed", fp.Feed), Value: float64(clusterRoleCode[fp.Role])})
+	}
+	lag := node.HeartbeatLag()
+	peers := make([]string, 0, len(lag))
+	for p := range lag {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		out[7].Samples = append(out[7].Samples,
+			obs.Sample{Labels: obs.Labels("peer", p), Value: lag[p]})
+	}
+	return out
 }
 
 func followerSeries(follower *repl.Follower) []obs.Series {
