@@ -57,7 +57,9 @@ fuzz-smoke:
 # Docs gate: relative markdown links in README.md and docs/ must resolve,
 # docs/API.md must document every route registered on the gateway mux, and
 # every registered metric name (grub_* string literal in non-test source)
-# must be documented in docs/API.md.
+# must be documented in docs/API.md. A live half then boots a gateway,
+# scrapes /metrics, and requires the exposition to parse strictly with
+# every served grub_* family documented — catching names built at runtime.
 docs-check:
 	$(GO) run ./tools/docscheck
 

@@ -85,3 +85,8 @@ func BenchmarkPublishExperiment(b *testing.B) { runExperiment(b, "publish") }
 // miss speedup, record-cache hit throughput, and write-batch latency with
 // background vs inline compaction.
 func BenchmarkKVStoreExperiment(b *testing.B) { runExperiment(b, "kvstore") }
+
+// BenchmarkLoadReportExperiment runs the load-accounting microbench: per-batch
+// metering tax, heartbeat digest build cost and wire size, and /cluster/load
+// latency with ~1k metered feeds.
+func BenchmarkLoadReportExperiment(b *testing.B) { runExperiment(b, "loadreport") }

@@ -213,6 +213,7 @@ func serve(sc serveConfig, gopts server.GatewayOptions, w io.Writer, onReady fun
 		node, err = cluster.NewNode(cluster.Options{
 			Self: self, NodeID: sc.nodeID, Peers: peers,
 			Local: g.ClusterLocal(), StatePath: statePath,
+			LoadDigest: g.Load().Snapshot,
 		})
 		if err != nil {
 			ln.Close()

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"grub/internal/server"
+)
+
+// TestGrubtopStandaloneFrame drives one frame against an in-process
+// standalone gateway: the frame must carry the driven feed with a
+// non-zero ops/sec without a cluster behind it.
+func TestGrubtopStandaloneFrame(t *testing.T) {
+	g := server.NewGateway()
+	defer g.Close()
+	if err := g.CreateFeed(server.FeedConfig{ID: "hot", Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// The load EWMA only counts completed wall-clock seconds, so the
+	// traffic has to straddle at least one second boundary to register.
+	deadline := time.Now().Add(1300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := g.Do("hot", []server.Op{{Type: "write", Key: "k", Value: []byte("v")}}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv := httptest.NewServer(server.NewHandler(g))
+	defer srv.Close()
+
+	var out strings.Builder
+	err := run([]string{"-node", srv.URL, "-iterations", "1", "-no-clear"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	frame := out.String()
+	if !strings.Contains(frame, "standalone gateway") {
+		t.Errorf("frame missing standalone banner:\n%s", frame)
+	}
+	if !strings.Contains(frame, "hot") {
+		t.Errorf("frame missing the driven feed:\n%s", frame)
+	}
+	if strings.Contains(frame, "no recent traffic") {
+		t.Errorf("driven feed reported no traffic:\n%s", frame)
+	}
+}
+
+// TestGrubtopUnreachable fails fast when the first frame cannot be
+// fetched.
+func TestGrubtopUnreachable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-node", "http://127.0.0.1:1", "-iterations", "1"}, &out); err == nil {
+		t.Fatal("expected an error against an unreachable node")
+	}
+}

@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig16", "fig7", "fig8a", "fig8b", "fig9", "table4", "fig11",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14", "fig15", "table5",
 		"gateway", "shard", "persist", "query", "repl", "cluster",
-		"publish", "kvstore",
+		"publish", "kvstore", "loadreport",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {

@@ -125,6 +125,7 @@ func startBenchCluster(count int) ([]benchClusterNode, func(), error) {
 		node, err := cluster.NewNode(cluster.Options{
 			Self: urls[i], Peers: peers, Local: gw.ClusterLocal(),
 			Heartbeat: 50 * time.Millisecond, TailPoll: 25 * time.Millisecond,
+			LoadDigest: gw.Load().Snapshot,
 		})
 		if err != nil {
 			gw.Close()

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"grub/internal/obs"
+	"grub/internal/server"
+)
+
+// RunLoadReport measures the per-feed load accounting plane at the scale
+// the design targets — a node hosting ~1k feeds:
+//
+//  1. Metering tax: the shard worker calls RateMeter.Add once per applied
+//     batch, so its cost bounds the accounting overhead on the write
+//     path. Reported as ns per Add across the full feed set.
+//  2. Heartbeat digest overhead: every heartbeat snapshots the whole
+//     tracker (rank all feeds, rates from the bucket windows) and ships
+//     the top-64 as JSON. Reported as snapshot latency and digest wire
+//     bytes — the per-heartbeat cost of load replication.
+//  3. /cluster/load latency: end-to-end GET /cluster/load over loopback
+//     HTTP on a 2-node cluster whose owner node meters the full feed
+//     set, reported as p50/p99, plus how many of the owner's feeds the
+//     peer learned purely from heartbeat piggybacks (capped at 64 by
+//     design — the cold tail is implied).
+func RunLoadReport(cfg Config) error {
+	cfg = cfg.withDefaults()
+	feeds := cfg.scaled(1000, 100)
+	addRounds := cfg.scaled(100, 20)
+	snapIters := cfg.scaled(50, 10)
+	latIters := cfg.scaled(200, 40)
+
+	fmt.Fprintf(cfg.W, "loadreport: %d feeds; %d metering rounds, %d snapshots, %d timed GETs\n\n",
+		feeds, addRounds, snapIters, latIters)
+
+	// Phase 1: metering tax on the apply path.
+	lt := obs.NewLoadTracker()
+	meters := make([]*obs.RateMeter, feeds)
+	for i := range meters {
+		meters[i] = lt.Meter(feedName(i))
+	}
+	start := time.Now()
+	for r := 0; r < addRounds; r++ {
+		for i, m := range meters {
+			m.Add(1+i%7, float64(3*(1+i%7)), 64, 0)
+		}
+	}
+	addNs := float64(time.Since(start).Nanoseconds()) / float64(addRounds*feeds)
+	fmt.Fprintf(cfg.W, "meter add: %.0f ns/op (per applied batch, one meter per feed)\n", addNs)
+	cfg.metric("loadreport.meterAddNs", addNs)
+
+	// Let the driven wall-clock second complete: the EWMA only counts
+	// finished seconds, and an all-zero tracker would make the snapshot
+	// below trivially cheap and the digest empty.
+	sleepPastSecond(150 * time.Millisecond)
+
+	// Phase 2: the cost every heartbeat pays — snapshot the tracker and
+	// encode the capped digest.
+	var snap []obs.FeedLoad
+	start = time.Now()
+	for i := 0; i < snapIters; i++ {
+		snap = lt.Snapshot()
+	}
+	snapMs := float64(time.Since(start)) / float64(snapIters) / float64(time.Millisecond)
+	if len(snap) != feeds {
+		return fmt.Errorf("loadreport: snapshot saw %d feeds, want %d (driven second incomplete?)", len(snap), feeds)
+	}
+	digest := snap
+	if len(digest) > 64 { // cluster's maxLoadDigest heartbeat cap
+		digest = digest[:64]
+	}
+	wire, err := json.Marshal(digest)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.W, "digest build: %.3f ms/snapshot over %d feeds; top-%d digest is %d bytes on the wire\n",
+		snapMs, feeds, len(digest), len(wire))
+	cfg.metric("loadreport.snapshotMs", snapMs)
+	cfg.metric("loadreport.digestBytes", float64(len(wire)))
+
+	// Phase 3: GET /cluster/load on a live 2-node cluster.
+	nodes, stopAll, err := startBenchCluster(2)
+	if err != nil {
+		return err
+	}
+	defer stopAll()
+	owner := nodes[0].gw.Load()
+	for i := 0; i < feeds; i++ {
+		owner.Meter(feedName(i)).Add(1+i%7, float64(3*(1+i%7)), 64, 0)
+	}
+	sleepPastSecond(250 * time.Millisecond) // complete the second + a few 50ms heartbeats
+
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	ds := make([]time.Duration, 0, latIters)
+	for i := 0; i < latIters; i++ {
+		t0 := time.Now()
+		resp, err := httpc.Get(nodes[0].url + "/cluster/load")
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadreport: GET /cluster/load: status %d", resp.StatusCode)
+		}
+		ds = append(ds, time.Since(t0))
+	}
+	p50, p99 := quantileDur(ds, 0.50), quantileDur(ds, 0.99)
+
+	// The peer never metered anything itself: whatever it reports for the
+	// owner arrived purely on heartbeat piggybacks.
+	remote, err := peerViewOfOwner(httpc, nodes[1].url, nodes[0].url, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.W, "GET /cluster/load on the metering node: p50 %v, p99 %v\n",
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	fmt.Fprintf(cfg.W, "peer sees %d of the owner's feeds via heartbeat digests (cap 64)\n", remote)
+	cfg.metric("loadreport.clusterLoad.p50Ms", float64(p50)/float64(time.Millisecond))
+	cfg.metric("loadreport.clusterLoad.p99Ms", float64(p99)/float64(time.Millisecond))
+	cfg.metric("loadreport.remoteDigestFeeds", float64(remote))
+	return nil
+}
+
+func feedName(i int) string { return fmt.Sprintf("lf%04d", i) }
+
+// sleepPastSecond sleeps until the next wall-clock second boundary plus
+// margin, so every count driven before the call lands in a *completed*
+// second the rate EWMA will count.
+func sleepPastSecond(margin time.Duration) {
+	time.Sleep(time.Until(time.Unix(time.Now().Unix()+1, 0).Add(margin)))
+}
+
+// peerViewOfOwner polls peerURL's /cluster/load until its per-node report
+// carries a digest for ownerURL (cluster member names are base URLs),
+// returning the digest's feed count.
+func peerViewOfOwner(httpc *http.Client, peerURL, ownerURL string, wait time.Duration) (int, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		var doc server.LoadResponse
+		resp, err := httpc.Get(peerURL + "/cluster/load")
+		if err != nil {
+			return 0, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusOK && json.Unmarshal(data, &doc) == nil {
+			for _, nl := range doc.Nodes {
+				if nl.Node == ownerURL && len(nl.Loads) > 0 {
+					return len(nl.Loads), nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("loadreport: peer %s never saw a load digest for %s", peerURL, ownerURL)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -7,24 +7,28 @@ import (
 	"io"
 	"net/http"
 
+	"grub/internal/obs"
 	"grub/internal/query"
 )
 
 // Heartbeat is the POST /cluster/heartbeat request body: the sender's
-// identity plus its full placement map. Heartbeats double as the placement
-// replication channel — both sides merge the other's entries.
+// identity plus its full placement map and a compact per-feed load digest.
+// Heartbeats double as the placement- and load-replication channel — both
+// sides merge the other's entries and remember the other's digest.
 type Heartbeat struct {
-	From    string  `json:"from"`
-	NodeID  string  `json:"nodeId,omitempty"`
-	Entries []Entry `json:"entries"`
+	From    string         `json:"from"`
+	NodeID  string         `json:"nodeId,omitempty"`
+	Entries []Entry        `json:"entries"`
+	Load    []obs.FeedLoad `json:"load,omitempty"`
 }
 
-// HeartbeatReply is the heartbeat response: the receiver's identity and its
-// (post-merge) placement map.
+// HeartbeatReply is the heartbeat response: the receiver's identity, its
+// (post-merge) placement map and its own load digest.
 type HeartbeatReply struct {
-	NodeID  string  `json:"nodeId,omitempty"`
-	Self    string  `json:"self"`
-	Entries []Entry `json:"entries"`
+	NodeID  string         `json:"nodeId,omitempty"`
+	Self    string         `json:"self"`
+	Entries []Entry        `json:"entries"`
+	Load    []obs.FeedLoad `json:"load,omitempty"`
 }
 
 // MoveRequest is the POST /cluster/feeds/{id}/move request body.

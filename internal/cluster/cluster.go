@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"grub/internal/obs"
 	"grub/internal/query"
 	"grub/internal/repl"
 )
@@ -115,6 +116,10 @@ type Options struct {
 	// HTTP overrides the transport for heartbeats, anchor fetches and
 	// tailers (default: 5s timeout).
 	HTTP *http.Client
+	// LoadDigest, when non-nil, supplies this node's per-feed load
+	// digest (hottest feeds first); it piggybacks on every heartbeat so
+	// each member holds a cluster-wide hot-feed view.
+	LoadDigest func() []obs.FeedLoad
 }
 
 func (o Options) withDefaults() Options {
@@ -174,7 +179,8 @@ type Node struct {
 	mu         sync.Mutex
 	lastSeen   map[string]time.Time
 	tails      map[string]*tailState
-	conflicted map[string]string // feed -> reason promotion is refused
+	conflicted map[string]string        // feed -> reason promotion is refused
+	peerLoads  map[string]nodeLoadState // peer -> last piggybacked load digest
 }
 
 // NewNode builds an unstarted cluster node.
@@ -211,6 +217,7 @@ func NewNode(opts Options) (*Node, error) {
 		lastSeen:   make(map[string]time.Time),
 		tails:      make(map[string]*tailState),
 		conflicted: make(map[string]string),
+		peerLoads:  make(map[string]nodeLoadState),
 	}, nil
 }
 
@@ -324,7 +331,7 @@ func (n *Node) hasQuorum() bool {
 // heartbeatOnce exchanges heartbeats (and placement maps) with every peer
 // in parallel.
 func (n *Node) heartbeatOnce() {
-	hb := Heartbeat{From: n.opts.Self, NodeID: n.opts.NodeID, Entries: n.pm.Entries()}
+	hb := Heartbeat{From: n.opts.Self, NodeID: n.opts.NodeID, Entries: n.pm.Entries(), Load: n.loadDigest()}
 	var wg sync.WaitGroup
 	for _, p := range n.peers() {
 		wg.Add(1)
@@ -336,6 +343,7 @@ func (n *Node) heartbeatOnce() {
 			}
 			n.markAlive(p)
 			n.pm.MergeAll(reply.Entries)
+			n.storePeerLoad(p, reply.Load)
 		}(p)
 	}
 	wg.Wait()
@@ -344,7 +352,7 @@ func (n *Node) heartbeatOnce() {
 // pushEntries sends specific entries to one peer immediately (migration
 // flips and promotions should not wait out a heartbeat tick).
 func (n *Node) pushEntries(peer string, entries []Entry) {
-	if _, err := n.client.Heartbeat(peer, Heartbeat{From: n.opts.Self, NodeID: n.opts.NodeID, Entries: entries}); err == nil {
+	if _, err := n.client.Heartbeat(peer, Heartbeat{From: n.opts.Self, NodeID: n.opts.NodeID, Entries: entries, Load: n.loadDigest()}); err == nil {
 		n.markAlive(peer)
 	}
 }
@@ -355,9 +363,10 @@ func (n *Node) pushEntries(peer string, entries []Entry) {
 func (n *Node) HandleHeartbeat(hb Heartbeat) HeartbeatReply {
 	if hb.From != "" && hb.From != n.opts.Self {
 		n.markAlive(hb.From)
+		n.storePeerLoad(hb.From, hb.Load)
 	}
 	n.pm.MergeAll(hb.Entries)
-	return HeartbeatReply{NodeID: n.opts.NodeID, Self: n.opts.Self, Entries: n.pm.Entries()}
+	return HeartbeatReply{NodeID: n.opts.NodeID, Self: n.opts.Self, Entries: n.pm.Entries(), Load: n.loadDigest()}
 }
 
 // reconcile drives the node's obligations from the placement map: claim

@@ -118,10 +118,13 @@ func (s HistSnapshot) Mean() float64 {
 
 // Quantile estimates the q-th quantile (0..1) in seconds by walking the
 // cumulative bucket counts and interpolating linearly inside the target
-// bucket. Observations in the +Inf bucket clamp to the highest finite
-// bound. Returns 0 for an empty histogram.
+// bucket. Empty buckets are skipped, so the estimate always lands in a
+// bucket that holds observations: q=0 yields the lower bound of the
+// first non-empty bucket, q=1 the upper bound of the last. Ranks that
+// fall in the +Inf bucket clamp to the highest finite bound rather than
+// extrapolating. Returns 0 for an empty histogram.
 func (s HistSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
+	if s.Count == 0 || len(s.Upper) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -135,14 +138,11 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 	for i, c := range s.Counts {
 		prev := cum
 		cum += c
-		if float64(cum) < rank {
+		if c == 0 || float64(cum) < rank {
 			continue
 		}
 		if i >= len(s.Upper) {
 			// +Inf bucket: clamp to the highest finite bound.
-			if len(s.Upper) == 0 {
-				return 0
-			}
 			return s.Upper[len(s.Upper)-1]
 		}
 		lo := 0.0
@@ -150,14 +150,13 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 			lo = s.Upper[i-1]
 		}
 		hi := s.Upper[i]
-		if c == 0 {
+		frac := (rank - float64(prev)) / float64(c)
+		if frac >= 1 {
+			// Exact bucket-edge rank: report the bound itself rather
+			// than accumulating float error through interpolation.
 			return hi
 		}
-		frac := (rank - float64(prev)) / float64(c)
 		return lo + (hi-lo)*frac
-	}
-	if len(s.Upper) == 0 {
-		return 0
 	}
 	return s.Upper[len(s.Upper)-1]
 }

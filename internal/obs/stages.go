@@ -8,6 +8,8 @@ import "sync"
 // follower_verify, and follower_apply.
 const (
 	StageIngress        = "ingress"         // HTTP decode + scatter-gather round trip
+	StageForward        = "forward"         // ingress node: proxy round trip to the owner
+	StageRemoteApply    = "remote_apply"    // owner node: handling a forwarded batch end to end
 	StageMailbox        = "mailbox"         // queued in a shard worker's mailbox
 	StagePersist        = "persist"         // WAL append (log-then-apply)
 	StageApply          = "apply"           // core.ApplyOps on the shard feed
@@ -22,6 +24,8 @@ const (
 // Stages lists every pipeline stage name, in pipeline order.
 var Stages = []string{
 	StageIngress,
+	StageForward,
+	StageRemoteApply,
 	StageMailbox,
 	StagePersist,
 	StageApply,
@@ -69,6 +73,8 @@ func (p *Pipeline) Feed(id string) *FeedStages {
 	}
 	fs := &FeedStages{
 		Ingress:        p.vec.With(id, StageIngress),
+		Forward:        p.vec.With(id, StageForward),
+		RemoteApply:    p.vec.With(id, StageRemoteApply),
 		Mailbox:        p.vec.With(id, StageMailbox),
 		Persist:        p.vec.With(id, StagePersist),
 		Apply:          p.vec.With(id, StageApply),
@@ -87,6 +93,8 @@ func (p *Pipeline) Feed(id string) *FeedStages {
 // single feed. Fields on a nil *FeedStages read as nil histograms.
 type FeedStages struct {
 	Ingress        *Histogram
+	Forward        *Histogram
+	RemoteApply    *Histogram
 	Mailbox        *Histogram
 	Persist        *Histogram
 	Apply          *Histogram
@@ -107,6 +115,10 @@ func (fs *FeedStages) Hist(stage string) *Histogram {
 	switch stage {
 	case StageIngress:
 		return fs.Ingress
+	case StageForward:
+		return fs.Forward
+	case StageRemoteApply:
+		return fs.RemoteApply
 	case StageMailbox:
 		return fs.Mailbox
 	case StagePersist:
@@ -136,6 +148,20 @@ func (fs *FeedStages) GetIngress() *Histogram {
 		return nil
 	}
 	return fs.Ingress
+}
+
+func (fs *FeedStages) GetForward() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.Forward
+}
+
+func (fs *FeedStages) GetRemoteApply() *Histogram {
+	if fs == nil {
+		return nil
+	}
+	return fs.RemoteApply
 }
 
 func (fs *FeedStages) GetMailbox() *Histogram {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"sort"
 	"sync"
 	"time"
@@ -13,6 +14,19 @@ import (
 // wire. A client may supply its own ID; the gateway echoes it back and
 // stamps it on every span the batch produces.
 const TraceHeader = "X-Grub-Trace"
+
+// ParentSpanHeader carries the parent span reference ("node:stage") on
+// a forwarded request, so the receiving node can parent its spans under
+// the hop that produced them and the stitched trace renders as a tree.
+const ParentSpanHeader = "X-Grub-Parent-Span"
+
+// SpanHeader carries a JSON-encoded []SpanRecord on a forwarded
+// response, letting the ingress node merge the owner's spans into its
+// own trace. The payload is size-bounded by EncodeSpans.
+const SpanHeader = "X-Grub-Spans"
+
+// maxSpanWire bounds the encoded span payload riding a response header.
+const maxSpanWire = 8 << 10
 
 // NewTraceID returns a fresh 16-hex-char random trace ID.
 func NewTraceID() string {
@@ -25,12 +39,16 @@ func NewTraceID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// SpanRecord is one completed stage of a traced batch.
+// SpanRecord is one completed stage of a traced batch. Node and Parent
+// are set on cross-node traces: Node names the node that recorded the
+// span, Parent references the hop span ("node:stage") it ran under.
 type SpanRecord struct {
 	Stage   string `json:"stage"`
 	Shard   int    `json:"shard"` // -1 for gateway-level spans
 	StartUS int64  `json:"startUs"`
 	DurUS   int64  `json:"durUs"`
+	Node    string `json:"node,omitempty"`
+	Parent  string `json:"parent,omitempty"`
 }
 
 // Trace collects the per-stage spans of one batch as it moves through
@@ -40,8 +58,10 @@ type Trace struct {
 	id    string
 	start time.Time
 
-	mu    sync.Mutex
-	spans []SpanRecord
+	mu     sync.Mutex
+	node   string
+	parent string
+	spans  []SpanRecord
 }
 
 // NewTrace starts a trace. An empty id generates a random one.
@@ -68,6 +88,38 @@ func (t *Trace) Start() time.Time {
 	return t.start
 }
 
+// SetNode names the node recording this trace; subsequent spans are
+// stamped with it. Safe to call once at trace creation.
+func (t *Trace) SetNode(node string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.node = node
+	t.mu.Unlock()
+}
+
+// Node returns the node name set via SetNode ("" on nil).
+func (t *Trace) Node() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node
+}
+
+// SetParent records the parent span reference ("node:stage") received
+// on a forwarded request; subsequent local spans are stamped with it.
+func (t *Trace) SetParent(parent string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.parent = parent
+	t.mu.Unlock()
+}
+
 // AddSpan records a completed span for stage on shard (use shard -1 for
 // gateway-level stages) that ran [start, start+dur).
 func (t *Trace) AddSpan(stage string, shard int, start time.Time, dur time.Duration) {
@@ -81,7 +133,25 @@ func (t *Trace) AddSpan(stage string, shard int, start time.Time, dur time.Durat
 		DurUS:   dur.Microseconds(),
 	}
 	t.mu.Lock()
+	rec.Node = t.node
+	rec.Parent = t.parent
 	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// AddRemoteSpans merges spans recorded by another node into this trace,
+// shifting their start times by offset (the local start of the hop that
+// produced them) so the stitched timeline stays roughly aligned.
+func (t *Trace) AddRemoteSpans(spans []SpanRecord, offset time.Duration) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	off := offset.Microseconds()
+	t.mu.Lock()
+	for _, sp := range spans {
+		sp.StartUS += off
+		t.spans = append(t.spans, sp)
+	}
 	t.mu.Unlock()
 }
 
@@ -120,4 +190,36 @@ func TraceFrom(ctx context.Context) *Trace {
 	}
 	t, _ := ctx.Value(traceKey{}).(*Trace)
 	return t
+}
+
+// EncodeSpans renders spans as a single-line JSON array suitable for an
+// HTTP header value. The payload is bounded: spans are dropped from the
+// tail until the encoding fits in 8KiB, so a pathological batch cannot
+// inflate response headers. Returns "" for no spans.
+func EncodeSpans(spans []SpanRecord) string {
+	for len(spans) > 0 {
+		b, err := json.Marshal(spans)
+		if err != nil {
+			return ""
+		}
+		if len(b) <= maxSpanWire {
+			return string(b)
+		}
+		spans = spans[:len(spans)/2]
+	}
+	return ""
+}
+
+// DecodeSpans parses an EncodeSpans payload. A malformed payload yields
+// an error rather than partial spans; callers treat that as "no remote
+// breakdown" and keep the local trace intact.
+func DecodeSpans(s string) ([]SpanRecord, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var spans []SpanRecord
+	if err := json.Unmarshal([]byte(s), &spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
 }

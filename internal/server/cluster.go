@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"grub/internal/cluster"
 	"grub/internal/obs"
@@ -47,7 +48,12 @@ func (l clusterLocal) CloseFeed(feed string) error { return l.g.CloseFeed(feed) 
 // the owner's response verbatim. body is the request body to resend (the
 // original may already be consumed). It returns the owner's status code
 // (0 when the owner was unreachable).
-func forwardToOwner(w http.ResponseWriter, r *http.Request, body []byte, owner string, epoch uint64, httpc *http.Client) int {
+//
+// When tr is non-nil the hop is stitched into the trace: the owner
+// receives this trace's ID and a parent-span reference ("node:forward"),
+// and the per-stage spans it returns in X-Grub-Spans merge back into tr,
+// shifted onto this node's timeline — one trace ID, both nodes' spans.
+func forwardToOwner(w http.ResponseWriter, r *http.Request, body []byte, owner string, epoch uint64, httpc *http.Client, tr *obs.Trace) int {
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, errorBody{Error: fmt.Sprintf("cluster: build forward request: %v", err), Leader: owner})
@@ -58,8 +64,13 @@ func forwardToOwner(w http.ResponseWriter, r *http.Request, body []byte, owner s
 			req.Header.Set(h, v)
 		}
 	}
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID())
+		req.Header.Set(obs.ParentSpanHeader, tr.Node()+":"+obs.StageForward)
+	}
 	req.Header.Set(cluster.EpochHeader, strconv.FormatUint(epoch, 10))
 	req.Header.Set(cluster.ForwardedHeader, "1")
+	hopStart := time.Now()
 	resp, err := httpc.Do(req)
 	if err != nil {
 		// The owner may have just died; the client retries (bounded
@@ -70,6 +81,11 @@ func forwardToOwner(w http.ResponseWriter, r *http.Request, body []byte, owner s
 		return 0
 	}
 	defer resp.Body.Close()
+	if tr != nil {
+		if spans, err := obs.DecodeSpans(resp.Header.Get(obs.SpanHeader)); err == nil {
+			tr.AddRemoteSpans(spans, hopStart.Sub(tr.Start()))
+		}
+	}
 	for _, h := range []string{"Content-Type", "Leader", "Retry-After", obs.TraceHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)

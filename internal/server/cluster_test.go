@@ -49,6 +49,15 @@ func (tn *testClusterNode) alive() bool {
 // test cadences. Every node knows every other as a static peer.
 func startTestCluster(t *testing.T, n int) []*testClusterNode {
 	t.Helper()
+	return startTestClusterCfg(t, n, nil)
+}
+
+// startTestClusterCfg is startTestCluster with a per-node HandlerConfig
+// hook: mod runs on each node's config (Cluster pre-filled) before the
+// handler is built, so tests can enable slow-op logging or tracing knobs
+// on individual members.
+func startTestClusterCfg(t *testing.T, n int, mod func(i int, hc *HandlerConfig)) []*testClusterNode {
+	t.Helper()
 	lns := make([]net.Listener, n)
 	urls := make([]string, n)
 	for i := range lns {
@@ -72,11 +81,16 @@ func startTestCluster(t *testing.T, n int) []*testClusterNode {
 			Self: urls[i], Peers: peers, Local: g.ClusterLocal(),
 			Heartbeat: 15 * time.Millisecond, FailAfter: 120 * time.Millisecond,
 			TailPoll: 3 * time.Millisecond, MoveTimeout: 30 * time.Second,
+			LoadDigest: g.Load().Snapshot,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := &http.Server{Handler: NewHandlerConfig(g, HandlerConfig{Cluster: node})}
+		hc := HandlerConfig{Cluster: node}
+		if mod != nil {
+			mod(i, &hc)
+		}
+		srv := &http.Server{Handler: NewHandlerConfig(g, hc)}
 		go srv.Serve(lns[i])
 		node.Start()
 		tn := &testClusterNode{g: g, node: node, srv: srv, url: urls[i]}

@@ -140,6 +140,17 @@ type LatencyResponse struct {
 	Stages map[string]StageLatency `json:"stages"`
 }
 
+// LoadResponse is the body of GET /cluster/load: every feed's recent
+// throughput, ranked hottest-first. Feeds is the cluster-wide merge (per
+// feed, summed over the per-node digests); Nodes is the per-node
+// breakdown with digest freshness. On a non-clustered gateway Feeds is
+// the local tracker's snapshot and Nodes is empty.
+type LoadResponse struct {
+	Node  string             `json:"node,omitempty"`
+	Nodes []cluster.NodeLoad `json:"nodes,omitempty"`
+	Feeds []obs.FeedLoad     `json:"feeds"`
+}
+
 // ReplFeedsResponse is the body of GET /repl/feeds: every hosted feed's
 // config, verbatim — what a follower needs to mirror the feed set.
 type ReplFeedsResponse struct {
@@ -266,11 +277,36 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		return true
 	}
 
+	// forwardOps proxies a batch to the feed's owner with trace stitching:
+	// the proxy round trip becomes a `forward` span (and feeds the feed's
+	// forward-stage histogram), the owner's spans merge in from the
+	// X-Grub-Spans response header, and an over-threshold round trip lands
+	// in this node's slow log as a single cross-node breakdown.
+	forwardOps := func(w http.ResponseWriter, r *http.Request, feed string, body []byte, owner string, epoch uint64) {
+		var tr *obs.Trace
+		if traceID := r.Header.Get(obs.TraceHeader); traceID != "" || slow != nil {
+			tr = obs.NewTrace(traceID)
+			tr.SetNode(hc.Cluster.Self())
+			w.Header().Set(obs.TraceHeader, tr.ID())
+		}
+		start := time.Now()
+		forwardToOwner(w, r, body, owner, epoch, hc.Cluster.HTTPClient(), tr)
+		dur := time.Since(start)
+		g.Pipeline().Feed(feed).GetForward().Observe(dur.Seconds())
+		tr.AddSpan(obs.StageForward, -1, start, dur)
+		if slow != nil && tr != nil {
+			var req BatchRequest
+			json.Unmarshal(body, &req)
+			slow.maybeLog(tr, feed, len(req.Ops), dur)
+		}
+	}
+
 	// clusterRoute applies the cluster routing decision for a write-path
 	// request on a feed. It reports true when the request was fully handled
 	// here — proxied to the owner, fenced (503), quorumless (503) or
-	// misdirected (421 + Leader); false means "apply locally".
-	clusterRoute := func(w http.ResponseWriter, r *http.Request, feed string) bool {
+	// misdirected (421 + Leader); false means "apply locally". traceOps
+	// marks the batch write path, whose forwards are trace-stitched.
+	clusterRoute := func(w http.ResponseWriter, r *http.Request, feed string, traceOps bool) bool {
 		if hc.Cluster == nil {
 			return false
 		}
@@ -286,7 +322,11 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 				return true
 			}
 			hc.Cluster.CountForward()
-			forwardToOwner(w, r, body, rt.Owner, rt.Epoch, hc.Cluster.HTTPClient())
+			if traceOps {
+				forwardOps(w, r, feed, body, rt.Owner, rt.Epoch)
+			} else {
+				forwardToOwner(w, r, body, rt.Owner, rt.Epoch, hc.Cluster.HTTPClient(), nil)
+			}
 			return true
 		case cluster.RouteFenced, cluster.RouteUnavailable:
 			w.Header().Set("Retry-After", "1")
@@ -332,7 +372,7 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 			case owner != hc.Cluster.Self():
 				body, _ := json.Marshal(cfg)
 				hc.Cluster.CountForward()
-				if status := forwardToOwner(w, r, body, owner, 0, hc.Cluster.HTTPClient()); status == http.StatusCreated {
+				if status := forwardToOwner(w, r, body, owner, 0, hc.Cluster.HTTPClient(), nil); status == http.StatusCreated {
 					// Record the owner now so a write that follows the
 					// create immediately routes there instead of missing
 					// locally until the next heartbeat.
@@ -360,7 +400,7 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 			return
 		}
 		id := r.PathValue("id")
-		if clusterRoute(w, r, id) {
+		if clusterRoute(w, r, id, true) {
 			return
 		}
 		var req BatchRequest
@@ -369,10 +409,19 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		}
 		// Trace the batch when the client asked for it (X-Grub-Trace)
 		// or slow-op logging needs the span breakdown; everything else
-		// runs with a nil trace and pays only nil checks.
+		// runs with a nil trace and pays only nil checks. A forwarded
+		// batch carries the ingress node's trace ID and parent-span
+		// reference, so the spans recorded here stitch under that hop.
+		forwarded := r.Header.Get(cluster.ForwardedHeader) != ""
 		var tr *obs.Trace
 		if traceID := r.Header.Get(obs.TraceHeader); traceID != "" || slow != nil {
 			tr = obs.NewTrace(traceID)
+			if hc.Cluster != nil {
+				tr.SetNode(hc.Cluster.Self())
+			}
+			if parent := r.Header.Get(obs.ParentSpanHeader); parent != "" {
+				tr.SetParent(parent)
+			}
 			w.Header().Set(obs.TraceHeader, tr.ID())
 		}
 		ctx := obs.WithTrace(r.Context(), tr)
@@ -384,9 +433,22 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		}
 		dur := time.Since(start)
 		// Ingress covers the whole gateway round trip: scatter, every
-		// per-shard stage, gather.
-		g.Pipeline().Feed(id).GetIngress().Observe(dur.Seconds())
-		tr.AddSpan(obs.StageIngress, -1, start, dur)
+		// per-shard stage, gather. The same window on a forwarded batch
+		// is remote_apply — the owner-side half of the forward hop.
+		fs := g.Pipeline().Feed(id)
+		stage, hist := obs.StageIngress, fs.GetIngress()
+		if forwarded {
+			stage, hist = obs.StageRemoteApply, fs.GetRemoteApply()
+		}
+		hist.Observe(dur.Seconds())
+		tr.AddSpan(stage, -1, start, dur)
+		if forwarded && tr != nil {
+			// Hand the full local breakdown back to the ingress node
+			// (bounded; EncodeSpans drops tail spans past 8KiB).
+			if enc := obs.EncodeSpans(tr.Spans()); enc != "" {
+				w.Header().Set(obs.SpanHeader, enc)
+			}
+		}
 		slow.maybeLog(tr, id, len(req.Ops), dur)
 		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 	})
@@ -510,7 +572,7 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		writeJSON(w, status, resp)
 	})
 
-	mux.HandleFunc("GET /metrics", metricsHandler(g, hc.Follower, hc.Cluster))
+	mux.HandleFunc("GET /metrics", metricsHandler(g, hc.Follower, hc.Cluster, slow))
 
 	// Replication surface: every gateway ships its per-shard log (leader
 	// role needs no configuration); /repl/status reports the follower
@@ -661,7 +723,7 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 			return
 		}
 		id := r.PathValue("id")
-		if clusterRoute(w, r, id) {
+		if clusterRoute(w, r, id, false) {
 			return
 		}
 		if err := g.CloseFeed(id); err != nil {
@@ -699,6 +761,27 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, hc.Cluster.Status())
 	})
 
+	mux.HandleFunc("GET /cluster/load", func(w http.ResponseWriter, r *http.Request) {
+		resp := LoadResponse{Feeds: []obs.FeedLoad{}}
+		if hc.Cluster == nil {
+			// Standalone gateways still do per-feed load accounting;
+			// the document just has no per-node breakdown.
+			resp.Feeds = g.Load().Snapshot()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		resp.Node = hc.Cluster.Self()
+		resp.Nodes = hc.Cluster.Loads()
+		digests := make([][]obs.FeedLoad, 0, len(resp.Nodes))
+		for _, nl := range resp.Nodes {
+			digests = append(digests, nl.Loads)
+		}
+		resp.Feeds = obs.MergeLoads(digests...)
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /cluster/metrics", clusterMetricsHandler(g, hc.Follower, hc.Cluster, slow))
+
 	mux.HandleFunc("POST /cluster/feeds/{id}/move", func(w http.ResponseWriter, r *http.Request) {
 		if hc.Cluster == nil {
 			writeJSON(w, http.StatusServiceUnavailable,
@@ -722,7 +805,7 @@ func NewHandlerConfig(g *Gateway, hc HandlerConfig) http.Handler {
 			}
 			body, _ := json.Marshal(req)
 			hc.Cluster.CountForward()
-			forwardToOwner(w, r, body, e.Owner, e.Epoch, hc.Cluster.HTTPClient())
+			forwardToOwner(w, r, body, e.Owner, e.Epoch, hc.Cluster.HTTPClient(), nil)
 			return
 		}
 		res, err := hc.Cluster.Move(feed, req.Target)

@@ -21,76 +21,114 @@ import (
 // follower the replication gauges (notably grub_repl_lag = leader seq −
 // follower seq, per shard) come from the follower's tailer status.
 
-// metricsHandler renders the gateway's metrics; follower and node may be
-// nil (leader/standalone mode and non-clustered mode respectively).
-func metricsHandler(g *Gateway, follower *repl.Follower, node *cluster.Node) http.HandlerFunc {
+// metricsHandler renders the gateway's metrics; follower, node and slow
+// may be nil (leader/standalone mode, non-clustered mode, and slow-op
+// logging disabled respectively).
+func metricsHandler(g *Gateway, follower *repl.Follower, node *cluster.Node, slow *slowLogger) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		ids := g.Feeds()
-		feedSeries := []obs.Series{
-			{Name: "grub_feed_ops_total", Help: "Executed ops per feed.", Type: "counter"},
-			{Name: "grub_feed_batches_total", Help: "Executed batches per feed.", Type: "counter"},
-			{Name: "grub_feed_gas_total", Help: "Cumulative feed-layer gas per feed.", Type: "counter"},
-			{Name: "grub_feed_records", Help: "Records currently held per feed.", Type: "gauge"},
-			{Name: "grub_feed_delivered_total", Help: "Reads delivered per feed.", Type: "counter"},
-			{Name: "grub_feed_replicated", Help: "Records currently replicated on-chain per feed.", Type: "gauge"},
-			{Name: "grub_feed_persist_snapshots_total", Help: "Durable snapshots taken per feed.", Type: "counter"},
-			{Name: "grub_feed_persist_logged_batches", Help: "Durable log records retained since the last snapshot per feed.", Type: "gauge"},
-		}
-		for _, id := range ids {
-			st, err := g.Stats(id)
-			if err != nil {
-				continue // closed mid-scrape
-			}
-			label := obs.Labels("feed", id)
-			add := func(i int, v float64) {
-				feedSeries[i].Samples = append(feedSeries[i].Samples, obs.Sample{Labels: label, Value: v})
-			}
-			add(0, float64(st.Ops))
-			add(1, float64(st.Batches))
-			add(2, float64(st.Feed.FeedGas))
-			add(3, float64(st.Feed.Records))
-			add(4, float64(st.Feed.Delivered))
-			add(5, float64(st.Feed.Replicated))
-			if st.Persist != nil {
-				add(6, float64(st.Persist.Snapshots))
-				add(7, float64(st.Persist.LoggedBatches))
-			}
-		}
-		halted := len(g.Halted())
-
-		isFollower := 0.0
-		if follower != nil {
-			isFollower = 1
-		}
-		var b strings.Builder
-		obs.WriteSeries(&b, []obs.Series{
-			{
-				Name: "grub_gateway_feeds", Help: "Feeds hosted by this gateway.", Type: "gauge",
-				Samples: []obs.Sample{{Value: float64(len(ids))}},
-			},
-			{
-				Name: "grub_repl_follower", Help: "Whether this gateway runs in follower mode.", Type: "gauge",
-				Samples: []obs.Sample{{Value: isFollower}},
-			},
-			{
-				Name: "grub_shards_halted", Help: "Shards permanently halted on a detected divergence.", Type: "gauge",
-				Samples: []obs.Sample{{Value: float64(halted)}},
-			},
-		})
-		obs.WriteSeries(&b, feedSeries)
-		if follower != nil {
-			obs.WriteSeries(&b, followerSeries(follower))
-		}
-		if node != nil {
-			obs.WriteSeries(&b, clusterSeries(node))
-		}
-		// Registry-backed families (the grub_stage_seconds pipeline
-		// histograms) render last; the registry sorts its own families.
-		g.Metrics().WritePrometheus(&b)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		w.Write([]byte(b.String()))
+		w.Write([]byte(renderMetrics(g, follower, node, slow)))
 	}
+}
+
+// renderMetrics builds the full exposition text. The federation plane
+// (GET /cluster/metrics) calls it directly for the answering node's own
+// registry, so self never round-trips through HTTP.
+func renderMetrics(g *Gateway, follower *repl.Follower, node *cluster.Node, slow *slowLogger) string {
+	ids := g.Feeds()
+	feedSeries := []obs.Series{
+		{Name: "grub_feed_ops_total", Help: "Executed ops per feed.", Type: "counter"},
+		{Name: "grub_feed_batches_total", Help: "Executed batches per feed.", Type: "counter"},
+		{Name: "grub_feed_gas_total", Help: "Cumulative feed-layer gas per feed.", Type: "counter"},
+		{Name: "grub_feed_records", Help: "Records currently held per feed.", Type: "gauge"},
+		{Name: "grub_feed_delivered_total", Help: "Reads delivered per feed.", Type: "counter"},
+		{Name: "grub_feed_replicated", Help: "Records currently replicated on-chain per feed.", Type: "gauge"},
+		{Name: "grub_feed_persist_snapshots_total", Help: "Durable snapshots taken per feed.", Type: "counter"},
+		{Name: "grub_feed_persist_logged_batches", Help: "Durable log records retained since the last snapshot per feed.", Type: "gauge"},
+	}
+	for _, id := range ids {
+		st, err := g.Stats(id)
+		if err != nil {
+			continue // closed mid-scrape
+		}
+		label := obs.Labels("feed", id)
+		add := func(i int, v float64) {
+			feedSeries[i].Samples = append(feedSeries[i].Samples, obs.Sample{Labels: label, Value: v})
+		}
+		add(0, float64(st.Ops))
+		add(1, float64(st.Batches))
+		add(2, float64(st.Feed.FeedGas))
+		add(3, float64(st.Feed.Records))
+		add(4, float64(st.Feed.Delivered))
+		add(5, float64(st.Feed.Replicated))
+		if st.Persist != nil {
+			add(6, float64(st.Persist.Snapshots))
+			add(7, float64(st.Persist.LoggedBatches))
+		}
+	}
+	halted := len(g.Halted())
+
+	isFollower := 0.0
+	if follower != nil {
+		isFollower = 1
+	}
+	var b strings.Builder
+	obs.WriteSeries(&b, []obs.Series{
+		{
+			Name: "grub_gateway_feeds", Help: "Feeds hosted by this gateway.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(len(ids))}},
+		},
+		{
+			Name: "grub_repl_follower", Help: "Whether this gateway runs in follower mode.", Type: "gauge",
+			Samples: []obs.Sample{{Value: isFollower}},
+		},
+		{
+			Name: "grub_shards_halted", Help: "Shards permanently halted on a detected divergence.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(halted)}},
+		},
+		{
+			Name: "grub_build_info", Help: "Build metadata; the value is always 1.", Type: "gauge",
+			Samples: []obs.Sample{{Labels: obs.Labels("version", Version), Value: 1}},
+		},
+		{
+			Name: "grub_uptime_seconds", Help: "Seconds since this gateway started.", Type: "gauge",
+			Samples: []obs.Sample{{Value: g.Uptime().Seconds()}},
+		},
+		{
+			Name: "grub_slowlog_dropped_total", Help: "Slow-op records suppressed by the per-second emission cap.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(slow.Dropped())}},
+		},
+	})
+	obs.WriteSeries(&b, feedSeries)
+	obs.WriteSeries(&b, loadSeries(g))
+	if follower != nil {
+		obs.WriteSeries(&b, followerSeries(follower))
+	}
+	if node != nil {
+		obs.WriteSeries(&b, clusterSeries(node))
+	}
+	// Registry-backed families (the grub_stage_seconds pipeline
+	// histograms) render last; the registry sorts its own families.
+	g.Metrics().WritePrometheus(&b)
+	return b.String()
+}
+
+// loadSeries renders the per-feed load tracker as gauges: the same
+// sliding-window EWMAs GET /cluster/load ranks and heartbeats ship in
+// digest form. Idle feeds decay out of the snapshot, so the series set
+// shrinks back to nothing when traffic stops.
+func loadSeries(g *Gateway) []obs.Series {
+	out := []obs.Series{
+		{Name: "grub_feed_load_ops_per_sec", Help: "Recent per-feed op throughput (sliding-window EWMA).", Type: "gauge"},
+		{Name: "grub_feed_load_gas_per_sec", Help: "Recent per-feed gas burn rate (sliding-window EWMA).", Type: "gauge"},
+	}
+	for _, fl := range g.Load().Snapshot() {
+		label := obs.Labels("feed", fl.Feed)
+		out[0].Samples = append(out[0].Samples, obs.Sample{Labels: label, Value: fl.OpsPerSec})
+		out[1].Samples = append(out[1].Samples, obs.Sample{Labels: label, Value: fl.GasPerSec})
+	}
+	return out
 }
 
 // replStateCode maps tailer states to a numeric gauge (0 healthy ... 4

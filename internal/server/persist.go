@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"grub/internal/kvstore"
 	"grub/internal/obs"
@@ -50,9 +51,10 @@ const manifestName = "feeds.json"
 // NewGatewayWithOptions returns a gateway, recovering every manifest-listed
 // feed from opts.DataDir when persistence is enabled.
 func NewGatewayWithOptions(opts GatewayOptions) (*Gateway, error) {
-	g := &Gateway{opts: opts, feeds: make(map[string]*feedEntry)}
+	g := &Gateway{opts: opts, feeds: make(map[string]*feedEntry), start: time.Now()}
 	g.reg = obs.NewRegistry()
 	g.pipeline = obs.NewPipeline(g.reg)
+	g.load = obs.NewLoadTracker()
 	if !g.persistent() {
 		return g, nil
 	}
@@ -65,7 +67,7 @@ func NewGatewayWithOptions(opts GatewayOptions) (*Gateway, error) {
 	}
 	for _, cfg := range m.Feeds {
 		entry := &feedEntry{cfg: cfg, dir: g.feedDir(cfg.ID)}
-		sf, err := newShardedFeed(cfg, g.persistOptions(entry.dir), opts.ReplRetain, g.pipeline.Feed(cfg.ID))
+		sf, err := newShardedFeed(cfg, g.persistOptions(entry.dir), opts.ReplRetain, g.pipeline.Feed(cfg.ID), g.load.Meter(cfg.ID))
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("server: recover feed %q: %w", cfg.ID, err)

@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"grub/internal/chain"
 	"grub/internal/core"
@@ -175,7 +176,7 @@ func RestoreFeedFromConfig(cfg FeedConfig, snap *core.FeedSnapshot) (*core.Feed,
 // identically-configured feeds (each on its own chain) behind one
 // scatter-gather front. It is how the gateway hosts every in-memory feed.
 func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
-	return newShardedFeed(cfg, nil, 0, nil)
+	return newShardedFeed(cfg, nil, 0, nil, nil)
 }
 
 // newShardedFeed builds a feed's shard engine, durable when persist is
@@ -184,8 +185,9 @@ func NewShardedFeed(cfg FeedConfig) (*shard.ShardedFeed, error) {
 // replication log: the authenticated read path (/feeds/{id}/get, /range,
 // /roots) and the log-shipping surface (/repl/*) are part of the serving
 // surface, not opt-ins — any gateway can lead followers. stages wires the
-// feed's pipeline-stage latency histograms (nil disables stage timing).
-func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions, replRetain int, stages *obs.FeedStages) (*shard.ShardedFeed, error) {
+// feed's pipeline-stage latency histograms (nil disables stage timing);
+// load wires the feed's ops/gas rate meter (nil disables load accounting).
+func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions, replRetain int, stages *obs.FeedStages, load *obs.RateMeter) (*shard.ShardedFeed, error) {
 	if _, _, err := feedParts(cfg); err != nil {
 		return nil, err // reject bad configs before touching disk
 	}
@@ -200,7 +202,7 @@ func newShardedFeed(cfg FeedConfig, persist *shard.PersistOptions, replRetain in
 			Shards: cfg.Shards, RecordTrace: cfg.RecordTrace,
 			Views: true, Persist: persist,
 			Repl: true, ReplRetain: replRetain, Restore: restore,
-			Stages: stages,
+			Stages: stages, Load: load,
 		},
 		func(int) (*core.Feed, error) { return NewFeed(cfg) },
 	)
@@ -244,6 +246,16 @@ type Gateway struct {
 	reg      *obs.Registry
 	pipeline *obs.Pipeline
 
+	// load tracks each feed's recent ops/gas throughput (sliding-window
+	// EWMA); the shard workers feed it per batch, and GET /cluster/load
+	// plus the grub_feed_load_* gauges read it. Unlike the pipeline
+	// histograms, meters die with their feed (Forget on CloseFeed) — a
+	// deleted feed's load is zero, not frozen.
+	load *obs.LoadTracker
+
+	// start anchors grub_uptime_seconds.
+	start time.Time
+
 	// createMu serializes feed creation/removal so two creates of the same
 	// ID never race on one on-disk store directory.
 	createMu sync.Mutex
@@ -260,6 +272,15 @@ func (g *Gateway) Metrics() *obs.Registry { return g.reg }
 // stages here (grubd wires repl.Options.Pipeline to it) so one scrape
 // covers the whole node.
 func (g *Gateway) Pipeline() *obs.Pipeline { return g.pipeline }
+
+// Load returns the gateway's per-feed load tracker (ops/gas throughput
+// EWMAs). GET /cluster/load ranks its snapshot, the cluster node ships a
+// truncated digest of it on heartbeats, and /metrics renders it as the
+// grub_feed_load_* gauges.
+func (g *Gateway) Load() *obs.LoadTracker { return g.load }
+
+// Uptime reports how long this gateway has been up (grub_uptime_seconds).
+func (g *Gateway) Uptime() time.Duration { return time.Since(g.start) }
 
 // NewGateway returns an empty in-memory gateway.
 func NewGateway() *Gateway {
@@ -296,11 +317,12 @@ func (g *Gateway) CreateFeed(cfg FeedConfig) error {
 			return err
 		}
 	}
-	sf, err := newShardedFeed(cfg, persist, g.opts.ReplRetain, g.pipeline.Feed(cfg.ID))
+	sf, err := newShardedFeed(cfg, persist, g.opts.ReplRetain, g.pipeline.Feed(cfg.ID), g.load.Meter(cfg.ID))
 	if err != nil {
 		if g.persistent() {
 			g.writeManifestWithout(cfg.ID) // roll the reservation back
 		}
+		g.load.Forget(cfg.ID)
 		return err
 	}
 	entry.sf = sf
@@ -497,6 +519,7 @@ func (g *Gateway) CloseFeed(id string) error {
 	if !ok {
 		return fmt.Errorf("server: %w: %q", ErrUnknownFeed, id)
 	}
+	g.load.Forget(id)
 	e.sf.Close()
 	if e.dir != "" {
 		if err := g.writeManifestWithout(id); err != nil {

@@ -23,12 +23,23 @@ type SlowOpRecord struct {
 	Spans []obs.SpanRecord `json:"spans"`
 }
 
+// slowLogMaxPerSec caps slow-op lines emitted per wall-clock second. A
+// write storm that pushes every batch over the threshold would otherwise
+// turn the slow log into the bottleneck it is meant to diagnose; past the
+// cap, records are counted (grub_slowlog_dropped_total) instead of
+// written — the first lines of each second are a sample, the counter says
+// how unrepresentative the sample is.
+const slowLogMaxPerSec = 10
+
 // slowLogger emits one JSON line per over-threshold write batch. A mutex
 // serializes writers so concurrent batches never interleave mid-line.
 type slowLogger struct {
 	threshold time.Duration
 	mu        sync.Mutex
 	w         io.Writer
+	sec       int64 // wall-clock second `emitted` counts within
+	emitted   int   // lines written during `sec`
+	dropped   uint64
 }
 
 func newSlowLogger(threshold time.Duration, w io.Writer) *slowLogger {
@@ -41,13 +52,26 @@ func newSlowLogger(threshold time.Duration, w io.Writer) *slowLogger {
 	return &slowLogger{threshold: threshold, w: w}
 }
 
-// maybeLog writes the record if the batch crossed the threshold. Nil-safe.
+// Dropped returns how many over-threshold records the per-second cap
+// suppressed. Nil-safe.
+func (l *slowLogger) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// maybeLog writes the record if the batch crossed the threshold, subject
+// to the per-second emission cap. Nil-safe.
 func (l *slowLogger) maybeLog(tr *obs.Trace, feed string, ops int, dur time.Duration) {
 	if l == nil || dur < l.threshold {
 		return
 	}
+	now := time.Now()
 	rec := SlowOpRecord{
-		Time:  time.Now().UTC().Format(time.RFC3339Nano),
+		Time:  now.UTC().Format(time.RFC3339Nano),
 		Trace: tr.ID(),
 		Feed:  feed,
 		Ops:   ops,
@@ -59,6 +83,15 @@ func (l *slowLogger) maybeLog(tr *obs.Trace, feed string, ops int, dur time.Dura
 		return
 	}
 	l.mu.Lock()
+	if sec := now.Unix(); sec != l.sec {
+		l.sec, l.emitted = sec, 0
+	}
+	if l.emitted >= slowLogMaxPerSec {
+		l.dropped++
+		l.mu.Unlock()
+		return
+	}
+	l.emitted++
 	l.w.Write(append(line, '\n'))
 	l.mu.Unlock()
 }

@@ -90,6 +90,10 @@ type Options struct {
 	// across shards — series are labeled by feed, with the shard index
 	// carried only on trace spans. Nil disables stage timing entirely.
 	Stages *obs.FeedStages
+	// Load, when non-nil, receives per-batch ops and gas counts from
+	// every shard worker (client batches and replicated applies alike)
+	// — the feed's share of the node's load accounting. Nil disables.
+	Load *obs.RateMeter
 }
 
 // ErrNotPersistent is returned by Snapshot on a feed without persistence.
@@ -213,6 +217,18 @@ type shardState struct {
 	persistErr error
 	// stages receives per-stage latency observations (nil disables).
 	stages *obs.FeedStages
+	// load receives per-batch ops/gas counts (nil disables).
+	load *obs.RateMeter
+}
+
+// meterBatch records an applied batch's work on the feed's load meter:
+// the op count and the gas the batch charged (post-apply minus
+// pre-apply feed gas).
+func (st *shardState) meterBatch(ops int, gasBefore gas.Gas) {
+	if st.load == nil {
+		return
+	}
+	st.load.Add(ops, float64(st.feed.FeedGas()-gasBefore), 0, 0)
 }
 
 // stageClock stamps successive pipeline stages of one batch onto the
@@ -435,8 +451,10 @@ func (w *worker) loop(st *shardState, record bool) {
 				}
 				clk.mark(obs.StagePersist, clk.stages.GetPersist())
 			}
+			gasBefore := st.feed.FeedGas()
 			results := core.ApplyOps(st.feed, req.ops)
 			clk.mark(obs.StageApply, clk.stages.GetApply())
+			st.meterBatch(len(req.ops), gasBefore)
 			st.ops += len(req.ops)
 			st.batches++
 			if record {
@@ -481,8 +499,10 @@ func (w *worker) applyReplicated(st *shardState, e *repl.Entry, record bool, clk
 		}
 		clk.mark(obs.StagePersist, clk.stages.GetPersist())
 	}
+	gasBefore := st.feed.FeedGas()
 	results := core.ApplyOps(st.feed, e.Ops)
 	clk.mark(obs.StageApply, clk.stages.GetApply())
+	st.meterBatch(len(e.Ops), gasBefore)
 	st.ops += len(e.Ops)
 	st.batches++
 	if record {
@@ -653,7 +673,7 @@ func newShardState(opts Options, idx int, build func(int) (*core.Feed, error)) (
 		if err != nil {
 			return nil, err
 		}
-		st := &shardState{feed: f, base: f.FeedGas(), stages: opts.Stages}
+		st := &shardState{feed: f, base: f.FeedGas(), stages: opts.Stages, load: opts.Load}
 		if opts.Repl {
 			st.repl = newReplLog(opts.ReplRetain)
 		}
@@ -669,6 +689,7 @@ func newShardState(opts Options, idx int, build func(int) (*core.Feed, error)) (
 		return nil, err
 	}
 	st.stages = opts.Stages
+	st.load = opts.Load
 	return st, nil
 }
 

@@ -1,4 +1,4 @@
-// Command docscheck is the CI docs gate. It makes three guarantees:
+// Command docscheck is the CI docs gate. It makes four guarantees:
 //
 //  1. Link check: every relative markdown link in README.md and docs/*.md
 //     points at a file that exists (and, for #fragment links, at a heading
@@ -8,6 +8,12 @@
 //  3. Metrics lint: every metric name (a "grub_..." string literal in
 //     non-test Go source under internal/ and cmd/) is documented — a newly
 //     registered metric must land in docs/API.md before it ships.
+//  4. Live exposition lint: an in-process gateway is booted, driven, and
+//     scraped; its /metrics output must parse cleanly under the strict
+//     obs exposition parser (well-formed HELP/TYPE headers, no duplicate
+//     series, histogram suffixes resolving) and every grub_* family that
+//     actually renders must be documented in docs/API.md — names built at
+//     runtime can't slip past the string-literal scan.
 //
 // It prints each problem and exits non-zero if any were found. Run it from
 // the repository root (CI does), or pass the root as the only argument.
@@ -15,11 +21,16 @@ package main
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
+	"time"
+
+	"grub/internal/obs"
+	"grub/internal/server"
 )
 
 func main() {
@@ -32,6 +43,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(2)
 	}
+	live, err := checkLiveExposition(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, live...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, "docscheck:", p)
 	}
@@ -159,6 +176,62 @@ func slugify(heading string) string {
 	}
 	return b.String()
 }
+
+// checkLiveExposition is the live half of the metrics lint (run() holds
+// the static half; main() runs both, while the temp-root unit tests
+// exercise run() alone since a synthetic tree has no gateway to boot).
+// It starts an in-process gateway, drives traced batches through a
+// sharded feed, scrapes GET /metrics, and validates the result: the
+// exposition must parse under the strict obs parser, and every grub_*
+// family it serves must be documented in docs/API.md.
+func checkLiveExposition(root string) ([]string, error) {
+	g := server.NewGateway()
+	defer g.Close()
+	if err := g.CreateFeed(server.FeedConfig{ID: "docscheck", Shards: 2}); err != nil {
+		return nil, fmt.Errorf("live exposition: create feed: %w", err)
+	}
+	// SlowOp at 1ns traces every batch and exercises the slow-op logger
+	// (and its drop counter) alongside the pipeline histograms.
+	h := server.NewHandlerConfig(g, server.HandlerConfig{
+		SlowOp: time.Nanosecond, SlowOpWriter: discard{},
+	})
+	for i := 0; i < 32; i++ {
+		body := strings.NewReader(fmt.Sprintf(
+			`{"ops":[{"type":"write","key":"k%d","value":"dg=="},{"type":"read","key":"k%d"}]}`, i, i))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/feeds/docscheck/ops", body))
+		if rec.Code != 200 {
+			return nil, fmt.Errorf("live exposition: drive batch: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		return nil, fmt.Errorf("live exposition: scrape: status %d", rec.Code)
+	}
+	fams, err := obs.ParseExposition(rec.Body.String())
+	if err != nil {
+		return []string{fmt.Sprintf("live /metrics exposition is malformed: %v", err)}, nil
+	}
+	api, err := os.ReadFile(filepath.Join(root, "docs", "API.md"))
+	if err != nil {
+		return nil, fmt.Errorf("read docs/API.md: %w", err)
+	}
+	apiText := string(api)
+	var problems []string
+	for _, f := range fams {
+		if strings.HasPrefix(f.Name, "grub_") && !strings.Contains(apiText, f.Name) {
+			problems = append(problems,
+				fmt.Sprintf("docs/API.md: live metric family %q is served but not documented", f.Name))
+		}
+	}
+	return problems, nil
+}
+
+// discard swallows the slow-op lines the live lint provokes.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 // routeRe matches the route strings registered on the gateway mux, e.g.
 // mux.HandleFunc("POST /feeds/{id}/ops", ...).

@@ -39,6 +39,19 @@ func TestRepoDocsAreConsistent(t *testing.T) {
 	}
 }
 
+// TestLiveExpositionConsistent runs the live half of the metrics lint
+// against the real gateway: the scrape must parse and every served
+// grub_* family must be documented.
+func TestLiveExpositionConsistent(t *testing.T) {
+	problems, err := checkLiveExposition(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
 // TestCatchesBrokenLink pins that the checker actually detects problems.
 func TestCatchesBrokenLink(t *testing.T) {
 	root := t.TempDir()
